@@ -1,0 +1,64 @@
+"""Ablation: the Coloring Precedence Graph vs. the plain stack order.
+
+The CPG is the paper's device for "creating more chances" to honor
+preferences: it relaxes the simplification stack into a partial order so
+the selector can pick the highest-stakes node among all ready nodes.
+This bench runs the same preference-aware selector with the partial
+order replaced by the raw Briggs pop order (a chain-shaped precedence
+graph) and reports how much of the benefit the CPG itself carries.
+
+Expected: with the stack order, fewer preferences are honorable when
+their node comes up (partners not colored yet / colored wrong), so
+eliminated moves drop and estimated cycles rise on at least some tests.
+"""
+
+from repro.reporting import format_table, geomean
+
+from conftest import all_int_rows, emit, sweep
+
+MODEL = "24"
+
+
+def test_ablation_cpg_order(benchmark):
+    benchmark.pedantic(lambda: sweep("jess", MODEL, "full-nocpg"),
+                       rounds=1, iterations=1)
+    rows = all_int_rows()
+    columns = ["full", "full-nocpg", "only-coalescing",
+               "only-coalescing-nocpg"]
+    cells = {}
+    for bench in rows:
+        for alloc in columns:
+            run = sweep(bench, MODEL, alloc)
+            cells[(bench, alloc)] = run.cycles.total
+    table = format_table(
+        "Ablation: CPG partial order vs simplification-stack order, "
+        "24 registers (estimated cycles)",
+        rows, columns, cells, fmt="{:.0f}",
+    )
+
+    moves_cells = {}
+    for bench in rows:
+        for alloc in columns:
+            stats = sweep(bench, MODEL, alloc).stats
+            moves_cells[(bench, alloc)] = float(stats.moves_eliminated)
+    moves_table = format_table(
+        "Ablation: eliminated moves, CPG vs stack order",
+        rows, columns, moves_cells, fmt="{:.0f}",
+    )
+    emit("ablation_cpg", table + "\n\n" + moves_table)
+
+    # The partial order must not hurt, and should help somewhere.
+    cycles_ratio = geomean([
+        cells[(r, "full")] / cells[(r, "full-nocpg")] for r in rows
+    ])
+    assert cycles_ratio <= 1.02, (
+        f"CPG ordering made things worse overall ({cycles_ratio:.3f})"
+    )
+    moves_ratio = geomean([
+        (moves_cells[(r, "only-coalescing")] or 1.0)
+        / (moves_cells[(r, "only-coalescing-nocpg")] or 1.0)
+        for r in rows
+    ])
+    assert moves_ratio >= 0.98, (
+        "stack order coalesced clearly better than the CPG order"
+    )

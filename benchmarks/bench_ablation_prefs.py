@@ -1,0 +1,51 @@
+"""Ablation: switching off one preference type at a time.
+
+DESIGN.md calls out the per-type design choices; this bench quantifies
+each type's contribution by removing it from the full configuration and
+measuring the cycle regression at 24 registers:
+
+* ``no-volatility`` — drop the type-3 volatile/non-volatile groups (and
+  with them the active memory spilling);
+* ``no-paired``     — drop the type-4 sequential± edges;
+* ``no-byte``       — drop the type-2 limited-register groups;
+* ``no-coalesce``   — drop types 1 and 4 coalesce edges.
+
+Expected: volatility matters most on the call-heavy tests; paired loads
+matter on mpegaudio/mtrt; byte loads on compress; coalescing everywhere.
+"""
+
+from repro.reporting import format_table
+
+from conftest import all_int_rows, emit, sweep
+
+MODEL = "24"
+COLUMNS = ["full", "no-volatility", "no-paired", "no-byte", "no-coalesce"]
+
+
+def test_ablation_preference_types(benchmark):
+    benchmark.pedantic(lambda: sweep("compress", MODEL, "no-byte"),
+                       rounds=1, iterations=1)
+    rows = all_int_rows()
+    cells = {
+        (bench, alloc): sweep(bench, MODEL, alloc).cycles.total
+        for bench in rows for alloc in COLUMNS
+    }
+    table = format_table(
+        "Ablation: estimated cycles with one preference type removed, "
+        "24 registers",
+        rows, COLUMNS, cells, fmt="{:.0f}",
+    )
+    emit("ablation_prefs", table)
+
+    # Volatility is the big lever on call-heavy tests...
+    for bench in ("jess", "javac"):
+        assert cells[(bench, "no-volatility")] > cells[(bench, "full")]
+    # ...paired loads matter on the numeric float tests...
+    assert cells[("mpegaudio", "no-paired")] > cells[("mpegaudio", "full")]
+    # ...byte loads matter on compress...
+    assert cells[("compress", "no-byte")] >= cells[("compress", "full")]
+    # ...and nothing improves by *removing* information (small noise
+    # tolerance; the selection is heuristic).
+    for bench in rows:
+        for column in COLUMNS[1:]:
+            assert cells[(bench, column)] >= cells[(bench, "full")] * 0.97

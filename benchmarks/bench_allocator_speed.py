@@ -1,0 +1,35 @@
+"""Compile-time cost of the allocators themselves.
+
+The paper argues its approach is practical inside a JIT (unlike the
+integer-programming allocators of Section 7).  This bench times each
+allocator over the same prepared module so the RPG/CPG overhead is
+visible next to the baselines.  No figure corresponds to this; it backs
+the Section 7 discussion and DESIGN.md's complexity notes.
+"""
+
+import pytest
+
+from conftest import ALLOCATORS, prepared_module
+
+from repro.pipeline import allocate_module
+
+TIMED = [
+    "chaitin",
+    "priority",
+    "briggs",
+    "iterated",
+    "optimistic",
+    "callcost",
+    "only-coalescing",
+    "full",
+]
+
+
+@pytest.mark.parametrize("allocator", TIMED)
+def test_allocation_time(benchmark, allocator):
+    prepared, machine = prepared_module("jess", "24")
+    benchmark.pedantic(
+        lambda: allocate_module(prepared, machine,
+                                ALLOCATORS[allocator]()),
+        rounds=3, iterations=1, warmup_rounds=0,
+    )

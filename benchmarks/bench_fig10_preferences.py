@@ -1,0 +1,86 @@
+"""Figure 10 — the impact of honoring preferences (elapsed time).
+
+The paper measures SPECjvm98 elapsed time under three algorithms —
+"only coalescing", optimistic coalescing, and "full preferences" — at
+16, 24, and 32 registers.  Our stand-in for elapsed time is the
+appendix-model cycle estimate (see EXPERIMENTS.md).
+
+Expected shape (Section 6.2): full preferences is clearly fastest; the
+coalescing-only algorithms barely improve (and on call-heavy tests can
+even degrade) with more registers because their volatile/non-volatile
+selection is poor; compress and mpegaudio are the least call-sensitive
+tests.
+"""
+
+from repro.reporting import format_table, geomean
+
+from conftest import all_int_rows, emit, sweep
+
+COLUMNS = ["only-coalescing", "optimistic", "full"]
+CALL_HEAVY = ("jess", "db", "javac", "jack")
+
+
+def collect_cycles(model: str):
+    return {
+        (bench, alloc): sweep(bench, model, alloc).cycles.total
+        for bench in all_int_rows()
+        for alloc in COLUMNS
+    }
+
+
+def _run(model: str, fig_name: str, benchmark):
+    benchmark.pedantic(lambda: sweep("jess", model, "full"),
+                       rounds=1, iterations=1)
+    rows = all_int_rows()
+    cells = collect_cycles(model)
+    table = format_table(
+        f"Figure 10 ({fig_name[-1]}): estimated cycles, {model} registers "
+        f"(lower is better)",
+        rows, COLUMNS, cells, fmt="{:.0f}",
+    )
+    emit(fig_name, table)
+    return cells
+
+
+def _full_wins(cells):
+    rows = all_int_rows()
+    for rival in ("only-coalescing", "optimistic"):
+        ratio = geomean([cells[(r, "full")] / cells[(r, rival)]
+                         for r in rows])
+        assert ratio < 1.0, (
+            f"full preferences not faster than {rival} "
+            f"(geomean ratio {ratio:.3f})"
+        )
+
+
+def test_fig10a_16_registers(benchmark):
+    _full_wins(_run("16", "fig10a", benchmark))
+
+
+def test_fig10b_24_registers(benchmark):
+    _full_wins(_run("24", "fig10b", benchmark))
+
+
+def test_fig10c_32_registers(benchmark):
+    cells = _run("32", "fig10c", benchmark)
+    _full_wins(cells)
+
+
+def test_fig10_call_heavy_tests_need_preferences(benchmark):
+    """The paper's Section 6.2 diagnosis: on the call-frequent tests the
+    coalescing-only algorithms stay far from full preferences even with
+    more registers, because they exploit volatile/non-volatile registers
+    poorly."""
+    benchmark.pedantic(lambda: sweep("db", "32", "optimistic"),
+                       rounds=1, iterations=1)
+    lines = ["Figure 10 follow-up: optimistic/full cycle ratio by model"]
+    for bench in CALL_HEAVY:
+        for model in ("16", "24", "32"):
+            full = sweep(bench, model, "full").cycles.total
+            optimistic = sweep(bench, model, "optimistic").cycles.total
+            lines.append(f"  {bench:8s} @{model}: {optimistic / full:.3f}")
+            assert optimistic >= full * 1.02, (
+                f"{bench}@{model}: preference-honoring advantage "
+                f"disappeared"
+            )
+    emit("fig10_callheavy", "\n".join(lines))

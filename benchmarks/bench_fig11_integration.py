@@ -1,0 +1,63 @@
+"""Figure 11 — integrated selection vs. separate coalescing + volatility.
+
+The paper's head-to-head at 24 registers (the middle-pressure model):
+relative elapsed time of the three coalescing-only approaches, the
+Lueh–Gross-style "aggressive+volatility" configuration, and our
+full-preference coloring, all normalized to full preferences.
+
+Expected shape (Section 6.3): the coalescing-only approaches trail
+badly; aggressive+volatility comes close — the paper reports ours
+better on four tests (best case jess, +16%), comparable on two, worse
+on one (db, −4%).  We assert: every coalescing-only ratio > 1 in
+geomean; the aggressive+volatility geomean ratio ≥ 1.0 (ours at least
+ties overall); some test shows a clear (>5%) win for ours; and no test
+loses by more than ~8% (the paper's worst case is −4%).
+"""
+
+from repro.reporting import format_ratio_table, geomean
+
+from conftest import all_int_rows, emit, sweep
+
+COLUMNS = ["briggs", "optimistic", "only-coalescing", "callcost", "full"]
+CALL_HEAVY = ("jess", "db", "javac", "jack")
+
+
+def test_fig11_relative_elapsed_24(benchmark):
+    benchmark.pedantic(lambda: sweep("jess", "24", "callcost"),
+                       rounds=1, iterations=1)
+    rows = all_int_rows()
+    cells = {
+        (bench, alloc): sweep(bench, "24", alloc).cycles.total
+        for bench in rows for alloc in COLUMNS
+    }
+    table = format_ratio_table(
+        "Figure 11: relative estimated cycles vs full preferences, "
+        "24 registers (1.0 = full preferences; higher = slower)",
+        rows, COLUMNS, cells, base_column="full",
+    )
+    emit("fig11", table)
+
+    # Coalescing-only approaches show worse performance.
+    for rival in ("briggs", "optimistic", "only-coalescing"):
+        ratio = geomean([cells[(r, rival)] / cells[(r, "full")]
+                         for r in rows])
+        assert ratio > 1.0, f"{rival} unexpectedly beat full preferences"
+
+    # Aggressive+volatility is the close competitor.  The paper reports
+    # ours better on four tests, comparable on two, worse on one (db,
+    # -4%); on our substrate the wins shift toward the irregular-register
+    # tests (the paper itself credits mpegaudio's win to paired loads)
+    # while the volatility-only margin narrows — see EXPERIMENTS.md.
+    callcost_ratios = {
+        r: cells[(r, "callcost")] / cells[(r, "full")] for r in rows
+    }
+    assert geomean(list(callcost_ratios.values())) >= 1.0, (
+        "integrated selection lost to aggressive+volatility overall"
+    )
+    assert max(callcost_ratios.values()) > 1.05, (
+        "no test shows a clear win for integrated selection"
+    )
+    assert min(callcost_ratios.values()) >= 0.92, (
+        "integrated selection lost a test by more than the paper-scale "
+        "worst case"
+    )

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Irregular-register preferences in action: paired loads and byte loads.
+
+Demonstrates the paper's type-2 (limited register usage) and type-4
+(dependent register usage) preferences: the preference-directed
+allocator steers paired-load destinations into adjacent registers and
+byte-load destinations into the byte-capable subset, while a
+preference-blind baseline only gets them by luck.
+
+Run:  python examples/irregular_registers.py
+"""
+
+from repro import (
+    ChaitinAllocator,
+    IRBuilder,
+    PreferenceDirectedAllocator,
+    allocate_function,
+    clone_function,
+    estimate_cycles,
+    high_pressure,
+    prepare_function,
+    print_function,
+)
+from repro.ir.values import Const, RegClass
+
+
+def build_kernel():
+    """A small filter: paired loads feeding arithmetic plus byte data."""
+    b = IRBuilder("filter8", n_params=2)        # p0 = samples, p1 = flags
+    i = b.const(0)
+    acc = b.const(0)
+    b.jump("loop")
+    b.block("loop")
+    # two coupled-load opportunities per iteration
+    s0 = b.load(b.param(0), 0)
+    s1 = b.load(b.param(0), 4)
+    s2 = b.load(b.param(0), 16)
+    s3 = b.load(b.param(0), 20)
+    # a byte load: wants a byte-capable register (else +1 zext cycle)
+    flag = b.load(b.param(1), 0, width="byte")
+    mixed = b.add(s0, s1)
+    mixed2 = b.add(s2, s3)
+    gated = b.binop("and", mixed, flag)
+    b.add(acc, gated, dst=acc)
+    b.add(acc, mixed2, dst=acc)
+    b.binop("add", i, Const(1), dst=i)
+    cond = b.binop("cmplt", i, Const(4))
+    b.branch(cond, "loop", "exit")
+    b.block("exit")
+    b.ret(acc)
+    return b.finish()
+
+
+def report_for(allocator, machine, base):
+    func = clone_function(base)
+    allocate_function(func, machine, allocator)
+    return func, estimate_cycles(func, machine)
+
+
+def main() -> None:
+    machine = high_pressure()
+    regfile = machine.file(RegClass.INT)
+    byte_capable = sorted(r.index for r in regfile.byte_load_regs)
+    print(f"target: {machine.name}; byte-capable registers: "
+          f"{byte_capable}; paired loads need adjacent destinations\n")
+
+    base = prepare_function(build_kernel(), machine)
+
+    blind, blind_report = report_for(
+        ChaitinAllocator(color_policy="index"), machine, base
+    )
+    ours, ours_report = report_for(
+        PreferenceDirectedAllocator(), machine, base
+    )
+
+    print("=== preference-blind baseline (Chaitin + aggressive) ===")
+    print(print_function(blind))
+    print(f"\npaired loads fused : {blind_report.paired_loads_fused}")
+    print(f"byte-load penalties: {blind_report.byte_penalty_cycles:.0f} "
+          f"cycles")
+    print(f"estimated cycles   : {blind_report.total:.0f}")
+
+    print("\n=== preference-directed (RPG + CPG) ===")
+    print(print_function(ours))
+    print(f"\npaired loads fused : {ours_report.paired_loads_fused}")
+    print(f"byte-load penalties: {ours_report.byte_penalty_cycles:.0f} "
+          f"cycles")
+    print(f"estimated cycles   : {ours_report.total:.0f}")
+
+    assert ours_report.paired_loads_fused >= blind_report.paired_loads_fused
+    assert ours_report.byte_penalty_cycles == 0
+    print(f"\npreference-directed saves "
+          f"{blind_report.total - ours_report.total:.0f} cycles "
+          f"({blind_report.total / ours_report.total:.2f}x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Quickstart: build a function, allocate it, inspect the result.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    IRBuilder,
+    PreferenceDirectedAllocator,
+    allocate_function,
+    clone_function,
+    estimate_cycles,
+    middle_pressure,
+    prepare_function,
+    print_function,
+    run_function,
+    side_by_side,
+    verify_allocation,
+)
+from repro.ir.values import Const
+from repro.sim import Memory
+
+
+def build_example():
+    """sum of a[0..n) plus a helper call, with a value live across it."""
+    b = IRBuilder("dot_step", n_params=2)       # p0 = array base, p1 = n
+    i = b.const(0)
+    acc = b.const(0)
+    b.jump("loop")
+    b.block("loop")
+    offset = b.binop("shl", i, Const(2))
+    addr = b.add(b.param(0), offset)
+    lo = b.load(addr, 0)                        # paired-load candidates
+    hi = b.load(addr, 4)
+    b.add(acc, lo, dst=acc)
+    b.add(acc, hi, dst=acc)
+    scaled = b.call("helper", [acc], returns=True)
+    b.add(acc, scaled, dst=acc)                 # acc lives across the call
+    b.binop("add", i, Const(1), dst=i)
+    cond = b.binop("cmplt", i, b.param(1))
+    b.branch(cond, "loop", "exit")
+    b.block("exit")
+    b.ret(acc)
+    return b.finish()
+
+
+def main() -> None:
+    machine = middle_pressure()
+    func = build_example()
+    print("=== source IR ===")
+    print(print_function(func))
+
+    # SSA -> DCE -> out-of-SSA -> calling convention.
+    prepared = prepare_function(clone_function(func), machine)
+    before = clone_function(prepared)
+
+    # The paper's allocator, full preference set.
+    result = allocate_function(prepared, machine,
+                               PreferenceDirectedAllocator())
+    verify_allocation(prepared, machine)
+
+    print("\n=== lowered vs allocated ===")
+    print(side_by_side(before, prepared, ("lowered", "allocated")))
+
+    stats = result.stats
+    print("\n=== allocation stats ===")
+    print(f"moves eliminated : {stats.moves_eliminated}/{stats.moves_before}")
+    print(f"spill instructions: {stats.spill_instructions}")
+    print(f"rounds            : {stats.rounds}")
+
+    report = estimate_cycles(prepared, machine)
+    print("\n=== cycle estimate (appendix cost model) ===")
+    print(report.describe())
+    print(f"paired loads fused: {report.paired_loads_fused}")
+
+    # The allocated code still computes the same thing.
+    args = [1024, 3]
+    want = run_function(func, args, machine=machine, memory=Memory())
+    got = run_function(prepared, args, machine=machine, memory=Memory())
+    print(f"\nsemantics check: {want.value} == {got.value} "
+          f"-> {'OK' if want.value == got.value else 'MISMATCH'}")
+    assert want.value == got.value
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+"""Interference-graph construction.
+
+Chaitin's definition with the standard refinements:
+
+* at every definition point, the defined register interferes with every
+  register live *after* the instruction (this covers dead definitions,
+  which still clobber), and with the other registers defined by the same
+  instruction;
+* for a copy ``dst = src`` the edge ``dst–src`` is *not* added (they may
+  share a register; that is the whole point of coalescing);
+* registers of different classes never interfere (separate files);
+* physical–physical edges are implicit and not stored.
+
+The result also collects the function's move instructions — the
+coalescing worklist every allocator variant starts from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.liveness import Liveness, compute_liveness
+from repro.cfg.analysis import CFG, build_cfg
+from repro.ir.function import Function
+from repro.ir.instructions import Move, Phi
+from repro.ir.values import PReg, Register, VReg
+
+__all__ = ["InterferenceGraph", "build_interference"]
+
+
+@dataclass(eq=False)
+class InterferenceGraph:
+    """Adjacency over virtual and physical registers, plus the move list."""
+
+    adjacency: dict[Register, set[Register]] = field(default_factory=dict)
+    moves: list[Move] = field(default_factory=list)
+
+    def nodes(self) -> list[Register]:
+        return list(self.adjacency)
+
+    def vregs(self) -> list[VReg]:
+        return [n for n in self.adjacency if isinstance(n, VReg)]
+
+    def ensure(self, node: Register) -> None:
+        self.adjacency.setdefault(node, set())
+
+    def add_edge(self, a: Register, b: Register) -> None:
+        if a is b or a == b:
+            return
+        if a.rclass is not b.rclass:
+            return
+        if isinstance(a, PReg) and isinstance(b, PReg):
+            return
+        self.adjacency.setdefault(a, set()).add(b)
+        self.adjacency.setdefault(b, set()).add(a)
+
+    def interferes(self, a: Register, b: Register) -> bool:
+        if isinstance(a, PReg) and isinstance(b, PReg):
+            return a != b and a.rclass is b.rclass
+        return b in self.adjacency.get(a, ())
+
+    def degree(self, node: Register) -> int:
+        return len(self.adjacency.get(node, ()))
+
+    def neighbors(self, node: Register) -> set[Register]:
+        return self.adjacency.get(node, set())
+
+
+def build_interference(
+    func: Function,
+    cfg: CFG | None = None,
+    liveness: Liveness | None = None,
+) -> InterferenceGraph:
+    """Build the interference graph of a phi-free, lowered function."""
+    if cfg is None:
+        cfg = build_cfg(func)
+    if liveness is None:
+        liveness = compute_liveness(func, cfg)
+
+    graph = InterferenceGraph()
+    for param in func.params:
+        graph.ensure(param)
+
+    for blk in func.blocks:
+        live: set[Register] = set(liveness.live_out[blk.label])
+        for instr in reversed(blk.instrs):
+            if isinstance(instr, Phi):
+                raise ValueError("interference runs after out-of-SSA")
+            defs = [d for d in instr.defs() if isinstance(d, (VReg, PReg))]
+            uses = [u for u in instr.uses() if isinstance(u, (VReg, PReg))]
+            for reg in defs + uses:
+                graph.ensure(reg)
+
+            if isinstance(instr, Move):
+                graph.moves.append(instr)
+                live.discard(instr.src)
+
+            for d in defs:
+                for other in live:
+                    graph.add_edge(d, other)
+                for d2 in defs:
+                    graph.add_edge(d, d2)
+            live -= set(defs)
+            live |= set(uses)
+    return graph

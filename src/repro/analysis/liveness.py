@@ -1,0 +1,131 @@
+"""Backward liveness dataflow over registers.
+
+Works both before and after SSA: phi instructions are handled with the
+standard convention that a phi's arm ``(pred, value)`` is a *use at the end
+of pred*, not a use in the phi's own block, and the phi destination is a
+def at the top of its block.  Physical registers are tracked exactly like
+virtual ones — their live ranges (argument setup before calls, the return
+register, ...) create the dedicated-register interference the allocators
+must respect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cfg.analysis import CFG, build_cfg
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import Phi
+from repro.ir.values import PReg, Register, VReg
+
+__all__ = ["Liveness", "compute_liveness"]
+
+
+def _regs(values) -> set[Register]:
+    return {v for v in values if isinstance(v, (VReg, PReg))}
+
+
+@dataclass(eq=False)
+class Liveness:
+    """Per-block live-in/live-out sets plus block-local summaries."""
+
+    live_in: dict[str, set[Register]] = field(default_factory=dict)
+    live_out: dict[str, set[Register]] = field(default_factory=dict)
+    #: upward-exposed uses per block (phi arms excluded)
+    use: dict[str, set[Register]] = field(default_factory=dict)
+    #: registers defined per block (phi dsts included)
+    defs: dict[str, set[Register]] = field(default_factory=dict)
+
+    def live_across_instr(self, block: BasicBlock, index: int) -> set[Register]:
+        """Registers live immediately *after* ``block.instrs[index]``.
+
+        A convenience for tests and for the call-crossing cost evaluation;
+        recomputes a backward scan of the block suffix on each call.
+        """
+        live = set(self.live_out[block.label])
+        for instr in reversed(block.instrs[index + 1:]):
+            live -= _regs(instr.defs())
+            if isinstance(instr, Phi):
+                continue
+            live |= _regs(instr.uses())
+        return live
+
+
+def block_uses_defs(block: BasicBlock) -> tuple[set[Register], set[Register]]:
+    """Upward-exposed uses and defs of one block (phi arms excluded)."""
+    uses: set[Register] = set()
+    defs: set[Register] = set()
+    for instr in block.instrs:
+        if not isinstance(instr, Phi):
+            for u in _regs(instr.uses()):
+                if u not in defs:
+                    uses.add(u)
+        defs |= _regs(instr.defs())
+    return uses, defs
+
+
+def phi_uses_on_edge(succ_block: BasicBlock, pred_label: str) -> set[Register]:
+    """Registers consumed by ``succ_block``'s phis along edge from ``pred``."""
+    out: set[Register] = set()
+    for phi in succ_block.phis():
+        value = phi.incoming.get(pred_label)
+        if isinstance(value, (VReg, PReg)):
+            out.add(value)
+    return out
+
+
+def compute_liveness(func: Function, cfg: CFG | None = None) -> Liveness:
+    """Iterative backward dataflow to a fixed point."""
+    if cfg is None:
+        cfg = build_cfg(func)
+    blocks = func.block_map()
+    result = Liveness()
+    for label, blk in blocks.items():
+        uses, defs = block_uses_defs(blk)
+        result.use[label] = uses
+        result.defs[label] = defs
+        result.live_in[label] = set()
+        result.live_out[label] = set()
+
+    # Iterate in postorder for fast convergence of a backward problem.
+    order = cfg.postorder()
+    # Unreachable blocks still get (empty) entries but aren't iterated.
+    changed = True
+    while changed:
+        changed = False
+        for label in order:
+            blk = blocks[label]
+            out: set[Register] = set()
+            for succ in cfg.succs[label]:
+                sblk = blocks[succ]
+                phi_defs = _regs(p.dst for p in sblk.phis())
+                out |= result.live_in[succ] - phi_defs
+                out |= phi_uses_on_edge(sblk, label)
+            new_in = result.use[label] | (out - result.defs[label])
+            # Phi destinations are defined at the very top of the block, so
+            # they are not live-in even if used later in the same block.
+            new_in -= _regs(p.dst for p in blk.phis())
+            if out != result.live_out[label] or new_in != result.live_in[label]:
+                result.live_out[label] = out
+                result.live_in[label] = new_in
+                changed = True
+    return result
+
+
+def instruction_liveness(
+    func: Function, liveness: Liveness
+) -> dict[int, set[Register]]:
+    """Live sets *after* each instruction, keyed by ``id(instr)``.
+
+    One backward scan per block; used by the interference builder and by
+    the cycle evaluator's call-crossing accounting.
+    """
+    after: dict[int, set[Register]] = {}
+    for blk in func.blocks:
+        live = set(liveness.live_out[blk.label])
+        for instr in reversed(blk.instrs):
+            after[id(instr)] = set(live)
+            live -= _regs(instr.defs())
+            if not isinstance(instr, Phi):
+                live |= _regs(instr.uses())
+    return after

@@ -1,0 +1,17 @@
+"""Control-flow analyses: CFG snapshots, dominance, natural loops."""
+
+from repro.cfg.analysis import CFG, build_cfg, remove_unreachable_blocks
+from repro.cfg.dominance import DomInfo, compute_dominance
+from repro.cfg.loops import LOOP_FREQ_FACTOR, Loop, LoopInfo, compute_loops
+
+__all__ = [
+    "CFG",
+    "build_cfg",
+    "remove_unreachable_blocks",
+    "DomInfo",
+    "compute_dominance",
+    "Loop",
+    "LoopInfo",
+    "compute_loops",
+    "LOOP_FREQ_FACTOR",
+]

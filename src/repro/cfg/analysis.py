@@ -1,0 +1,101 @@
+"""Basic control-flow graph queries: edges, orders, reachability.
+
+All CFG-level analyses operate on block labels, matching how terminators
+reference their targets.  A :class:`CFG` snapshot is built once per pass;
+it does not track later mutation of the function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AnalysisError
+from repro.ir.function import Function
+
+__all__ = ["CFG", "build_cfg", "remove_unreachable_blocks"]
+
+
+@dataclass(eq=False)
+class CFG:
+    """A label-level snapshot of a function's control flow."""
+
+    func: Function
+    entry: str
+    succs: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    preds: dict[str, tuple[str, ...]] = field(default_factory=dict)
+
+    def reverse_postorder(self) -> list[str]:
+        """Blocks in reverse postorder of a DFS from the entry."""
+        order: list[str] = []
+        seen: set[str] = set()
+
+        def visit(label: str) -> None:
+            # Iterative DFS to survive deep synthetic CFGs.
+            stack: list[tuple[str, int]] = [(label, 0)]
+            seen.add(label)
+            while stack:
+                node, idx = stack[-1]
+                succ = self.succs[node]
+                if idx < len(succ):
+                    stack[-1] = (node, idx + 1)
+                    nxt = succ[idx]
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        stack.append((nxt, 0))
+                else:
+                    order.append(node)
+                    stack.pop()
+
+        visit(self.entry)
+        order.reverse()
+        return order
+
+    def postorder(self) -> list[str]:
+        order = self.reverse_postorder()
+        order.reverse()
+        return order
+
+    def reachable(self) -> set[str]:
+        return set(self.reverse_postorder())
+
+
+def build_cfg(func: Function) -> CFG:
+    """Compute the CFG of ``func``.
+
+    Raises :class:`AnalysisError` if any block lacks a terminator (the IR
+    validator should have been run first).
+    """
+    succs: dict[str, tuple[str, ...]] = {}
+    preds: dict[str, list[str]] = {blk.label: [] for blk in func.blocks}
+    for blk in func.blocks:
+        if blk.terminator is None:
+            raise AnalysisError(
+                f"{func.name}/{blk.label}: cannot build CFG without terminator"
+            )
+        succs[blk.label] = blk.successors()
+    for label, targets in succs.items():
+        for target in targets:
+            preds[target].append(label)
+    return CFG(
+        func=func,
+        entry=func.entry.label,
+        succs=succs,
+        preds={label: tuple(p) for label, p in preds.items()},
+    )
+
+
+def remove_unreachable_blocks(func: Function) -> int:
+    """Drop blocks not reachable from the entry; returns how many."""
+    cfg = build_cfg(func)
+    live = cfg.reachable()
+    before = len(func.blocks)
+    func.blocks = [blk for blk in func.blocks if blk.label in live]
+    removed = before - len(func.blocks)
+    if removed:
+        # Phi arms referring to removed predecessors must be dropped too.
+        for blk in func.blocks:
+            for phi in blk.phis():
+                phi.incoming = {
+                    lbl: v for lbl, v in phi.incoming.items() if lbl in live
+                }
+    return removed

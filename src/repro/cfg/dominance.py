@@ -1,0 +1,102 @@
+"""Dominator tree and dominance frontiers.
+
+Implements the Cooper–Harvey–Kennedy iterative algorithm ("A Simple, Fast
+Dominance Algorithm"), which is comfortably fast at the CFG sizes the
+workload generator produces and has no recursion-depth hazards.
+Dominance frontiers follow Cytron et al., as needed for SSA construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cfg.analysis import CFG
+
+__all__ = ["DomInfo", "compute_dominance"]
+
+
+@dataclass(eq=False)
+class DomInfo:
+    """Immediate dominators, dominator-tree children, and frontiers."""
+
+    entry: str
+    idom: dict[str, str] = field(default_factory=dict)
+    children: dict[str, list[str]] = field(default_factory=dict)
+    frontier: dict[str, set[str]] = field(default_factory=dict)
+    #: reverse postorder index of each reachable block
+    rpo_index: dict[str, int] = field(default_factory=dict)
+
+    def dominates(self, a: str, b: str) -> bool:
+        """True when block ``a`` dominates block ``b`` (reflexive)."""
+        node = b
+        while True:
+            if node == a:
+                return True
+            if node == self.entry:
+                return False
+            node = self.idom[node]
+
+    def dom_tree_preorder(self) -> list[str]:
+        """Blocks in a preorder walk of the dominator tree."""
+        order: list[str] = []
+        stack = [self.entry]
+        while stack:
+            node = stack.pop()
+            order.append(node)
+            stack.extend(reversed(self.children.get(node, [])))
+        return order
+
+
+def compute_dominance(cfg: CFG) -> DomInfo:
+    """Compute dominator tree and dominance frontiers for ``cfg``.
+
+    Unreachable blocks are ignored (they do not appear in any result map).
+    """
+    rpo = cfg.reverse_postorder()
+    rpo_index = {label: i for i, label in enumerate(rpo)}
+    idom: dict[str, str | None] = {label: None for label in rpo}
+    idom[cfg.entry] = cfg.entry
+
+    def intersect(a: str, b: str) -> str:
+        while a != b:
+            while rpo_index[a] > rpo_index[b]:
+                a = idom[a]  # type: ignore[assignment]
+            while rpo_index[b] > rpo_index[a]:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for label in rpo:
+            if label == cfg.entry:
+                continue
+            processed = [p for p in cfg.preds[label]
+                         if p in rpo_index and idom[p] is not None]
+            if not processed:
+                continue
+            new_idom = processed[0]
+            for p in processed[1:]:
+                new_idom = intersect(new_idom, p)
+            if idom[label] != new_idom:
+                idom[label] = new_idom
+                changed = True
+
+    info = DomInfo(entry=cfg.entry, rpo_index=rpo_index)
+    info.idom = {lbl: d for lbl, d in idom.items() if d is not None}
+    info.children = {label: [] for label in rpo}
+    for label in rpo:
+        if label != cfg.entry:
+            info.children[info.idom[label]].append(label)
+
+    info.frontier = {label: set() for label in rpo}
+    for label in rpo:
+        preds = [p for p in cfg.preds[label] if p in rpo_index]
+        if len(preds) < 2:
+            continue
+        for p in preds:
+            runner = p
+            while runner != info.idom[label]:
+                info.frontier[runner].add(label)
+                runner = info.idom[runner]
+    return info

@@ -1,0 +1,129 @@
+"""Natural-loop detection and execution-frequency estimation.
+
+The paper's cost model weights every instruction by ``Freq_Fact``: 1
+outside loops and 10 per loop level ("obtained by loop analysis").  We
+detect natural loops from back edges in the dominator tree, compute the
+nesting depth of every block, and expose
+``freq(block) = LOOP_FREQ_FACTOR ** depth(block)``.
+
+Irreducible CFGs (a retreating edge whose target does not dominate its
+source) have no natural loop for that edge; the edge is recorded in
+:attr:`LoopInfo.irreducible_edges` and contributes no nesting.  The
+workload generator only emits reducible flow, but hand-written IR may not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cfg.analysis import CFG
+from repro.cfg.dominance import DomInfo, compute_dominance
+
+__all__ = ["Loop", "LoopInfo", "compute_loops", "LOOP_FREQ_FACTOR"]
+
+#: The paper's appendix frequency factor per loop level.
+LOOP_FREQ_FACTOR = 10
+
+
+@dataclass(eq=False)
+class Loop:
+    """A natural loop: header plus the body block set."""
+
+    header: str
+    body: set[str] = field(default_factory=set)
+    #: loops immediately nested inside this one
+    children: list["Loop"] = field(default_factory=list)
+    parent: "Loop | None" = None
+    depth: int = 1
+
+    def __contains__(self, label: str) -> bool:
+        return label in self.body
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Loop(header={self.header}, blocks={len(self.body)}, depth={self.depth})"
+
+
+@dataclass(eq=False)
+class LoopInfo:
+    """All loops of a function plus per-block depth/frequency."""
+
+    loops: list[Loop] = field(default_factory=list)
+    depth: dict[str, int] = field(default_factory=dict)
+    irreducible_edges: list[tuple[str, str]] = field(default_factory=list)
+
+    def freq(self, label: str) -> int:
+        """Estimated execution frequency of ``label``."""
+        return LOOP_FREQ_FACTOR ** self.depth.get(label, 0)
+
+    def loop_of(self, label: str) -> Loop | None:
+        """The innermost loop containing ``label`` (or ``None``)."""
+        best: Loop | None = None
+        for loop in self.loops:
+            if label in loop and (best is None or loop.depth > best.depth):
+                best = loop
+        return best
+
+
+def compute_loops(cfg: CFG, dom: DomInfo | None = None) -> LoopInfo:
+    """Find natural loops and block nesting depths for ``cfg``."""
+    if dom is None:
+        dom = compute_dominance(cfg)
+    reachable = set(dom.rpo_index)
+    info = LoopInfo(depth={label: 0 for label in reachable})
+
+    # Back edge: tail -> header where header dominates tail.  Merge loops
+    # sharing a header (multiple back edges into one natural loop).
+    loops_by_header: dict[str, Loop] = {}
+    for tail in reachable:
+        for header in cfg.succs[tail]:
+            if header not in reachable:
+                continue
+            if dom.dominates(header, tail):
+                loop = loops_by_header.setdefault(header, Loop(header))
+                loop.body |= _loop_body(cfg, header, tail)
+            elif _is_retreating(dom, cfg, tail, header):
+                info.irreducible_edges.append((tail, header))
+
+    info.loops = list(loops_by_header.values())
+
+    # Nest loops: parent = smallest strictly-containing loop.
+    by_size = sorted(info.loops, key=lambda lp: len(lp.body))
+    for i, inner in enumerate(by_size):
+        for outer in by_size[i + 1:]:
+            if inner.header in outer.body and inner.body <= outer.body \
+                    and inner is not outer:
+                inner.parent = outer
+                outer.children.append(inner)
+                break
+    for loop in info.loops:
+        depth, anc = 1, loop.parent
+        while anc is not None:
+            depth += 1
+            anc = anc.parent
+        loop.depth = depth
+
+    for label in reachable:
+        info.depth[label] = max(
+            (lp.depth for lp in info.loops if label in lp), default=0
+        )
+    return info
+
+
+def _loop_body(cfg: CFG, header: str, tail: str) -> set[str]:
+    """Blocks of the natural loop of back edge ``tail -> header``."""
+    body = {header, tail}
+    stack = [tail]
+    while stack:
+        node = stack.pop()
+        if node == header:
+            continue
+        for pred in cfg.preds[node]:
+            if pred not in body:
+                body.add(pred)
+                stack.append(pred)
+    return body
+
+
+def _is_retreating(dom: DomInfo, cfg: CFG, tail: str, header: str) -> bool:
+    """Retreating but non-back edge => irreducible flow."""
+    return dom.rpo_index.get(header, -1) <= dom.rpo_index.get(tail, -1)

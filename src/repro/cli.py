@@ -1,0 +1,195 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``alloc FILE``      — parse textual IR, run the pipeline + an allocator,
+  print the allocated code and stats.
+* ``compare FILE``    — run every allocator over one IR file and print a
+  comparison table.
+* ``bench NAME``      — allocate one synthetic benchmark under all
+  allocators and print the comparison (a CLI twin of
+  ``examples/benchmark_tour.py``).
+* ``example``         — replay the paper's Figure 7 with full tracing.
+* ``targets``         — describe the built-in register-usage models.
+
+The textual IR syntax is whatever ``repro.ir.printer`` emits; see
+``README.md`` or run ``python -m repro example`` for a sample.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import PreferenceConfig, PreferenceDirectedAllocator
+from repro.errors import ReproError
+from repro.ir.parser import parse_module
+from repro.ir.printer import print_function
+from repro.pipeline import allocate_module, prepare_module
+from repro.regalloc import (
+    BriggsAllocator,
+    CallCostAllocator,
+    ChaitinAllocator,
+    IteratedCoalescingAllocator,
+    OptimisticCoalescingAllocator,
+    PriorityAllocator,
+    allocate_function,
+)
+from repro.sim.cycles import estimate_cycles
+from repro.target.presets import PRESSURE_MODELS, figure7_machine, make_machine
+from repro.workloads import BENCHMARK_NAMES, make_benchmark
+
+__all__ = ["main", "build_parser"]
+
+ALLOCATOR_CHOICES = {
+    "chaitin": ChaitinAllocator,
+    "briggs": BriggsAllocator,
+    "iterated": IteratedCoalescingAllocator,
+    "optimistic": OptimisticCoalescingAllocator,
+    "callcost": CallCostAllocator,
+    "priority": PriorityAllocator,
+    "only-coalescing": lambda: PreferenceDirectedAllocator(
+        PreferenceConfig.only_coalescing()
+    ),
+    "full": PreferenceDirectedAllocator,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Preference-Directed Graph Coloring (PLDI 2002) "
+                    "reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    alloc = sub.add_parser("alloc", help="allocate an IR file")
+    alloc.add_argument("file", help="textual IR file ('-' for stdin)")
+    alloc.add_argument("--allocator", choices=sorted(ALLOCATOR_CHOICES),
+                       default="full")
+    alloc.add_argument("--regs", type=int, default=24,
+                       help="registers per class (default 24)")
+
+    compare = sub.add_parser("compare",
+                             help="run every allocator over an IR file")
+    compare.add_argument("file", help="textual IR file ('-' for stdin)")
+    compare.add_argument("--regs", type=int, default=24)
+
+    bench = sub.add_parser("bench", help="allocate a synthetic benchmark")
+    bench.add_argument("name", choices=BENCHMARK_NAMES)
+    bench.add_argument("--regs", type=int, default=16)
+
+    sub.add_parser("example", help="replay the paper's Figure 7")
+    sub.add_parser("targets", help="describe the register-usage models")
+    return parser
+
+
+def main(argv: list[str] | None = None,
+         out=None) -> int:
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "alloc":
+            _cmd_alloc(args, out)
+        elif args.command == "compare":
+            _cmd_compare(args, out)
+        elif args.command == "bench":
+            _cmd_bench(args, out)
+        elif args.command == "example":
+            _cmd_example(out)
+        elif args.command == "targets":
+            _cmd_targets(out)
+    except ReproError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:  # e.g. `python -m repro targets | head`
+        return 0
+    return 0
+
+
+def _read_module(path: str):
+    text = sys.stdin.read() if path == "-" else open(path).read()
+    return parse_module(text)
+
+
+def _cmd_alloc(args, out) -> None:
+    machine = make_machine(args.regs)
+    module = _read_module(args.file)
+    prepared = prepare_module(module, machine)
+    run = allocate_module(prepared, machine,
+                          ALLOCATOR_CHOICES[args.allocator]())
+    for result in run.results:
+        print(print_function(result.func), file=out)
+        print(file=out)
+    stats, cycles = run.stats, run.cycles
+    print(f"; allocator        : {stats.allocator}", file=out)
+    print(f"; moves eliminated : {stats.moves_eliminated}"
+          f"/{stats.moves_before}", file=out)
+    print(f"; spill instrs     : {stats.spill_instructions}", file=out)
+    print(f"; estimated cycles : {cycles.total:.0f} "
+          f"({cycles.describe()})", file=out)
+
+
+def _cmd_compare(args, out) -> None:
+    machine = make_machine(args.regs)
+    module = _read_module(args.file)
+    prepared = prepare_module(module, machine)
+    _comparison_table(prepared, machine, out)
+
+
+def _cmd_bench(args, out) -> None:
+    machine = make_machine(args.regs)
+    module = make_benchmark(args.name)
+    prepared = prepare_module(module, machine)
+    print(f"benchmark {args.name}: {len(prepared.functions)} functions, "
+          f"{prepared.instruction_count()} instructions, "
+          f"{args.regs} regs/class", file=out)
+    _comparison_table(prepared, machine, out)
+
+
+def _comparison_table(prepared, machine, out) -> None:
+    header = (f"{'allocator':20s} {'moves elim.':>12s} {'spills':>7s} "
+              f"{'caller-save':>12s} {'paired':>7s} {'cycles':>9s}")
+    print(header, file=out)
+    print("-" * len(header), file=out)
+    for name, factory in ALLOCATOR_CHOICES.items():
+        run = allocate_module(prepared, machine, factory())
+        stats, cycles = run.stats, run.cycles
+        print(f"{name:20s} "
+              f"{stats.moves_eliminated:5d}/{stats.moves_before:<6d} "
+              f"{stats.spill_instructions:7d} "
+              f"{cycles.caller_save_cycles:12.0f} "
+              f"{cycles.paired_loads_fused:7d} "
+              f"{cycles.total:9.0f}", file=out)
+
+
+def _cmd_example(out) -> None:
+    from repro.target.lowering import lower_function
+    from repro.workloads.figures import figure7_function
+
+    machine = figure7_machine()
+    func = figure7_function()
+    print("Figure 7(a):", file=out)
+    print(print_function(func), file=out)
+    lower_function(func, machine)
+    allocator = PreferenceDirectedAllocator(keep_trace=True)
+    result = allocate_function(func, machine, allocator)
+    print("\nselection trace:", file=out)
+    print(allocator.last_trace, file=out)
+    print("\nFigure 7(h):", file=out)
+    print(print_function(func), file=out)
+    report = estimate_cycles(func, machine)
+    print(f"\nmoves eliminated {result.stats.moves_eliminated}"
+          f"/{result.stats.moves_before}; paired loads fused "
+          f"{report.paired_loads_fused}", file=out)
+
+
+def _cmd_targets(out) -> None:
+    for label, factory in PRESSURE_MODELS.items():
+        print(f"--- {label} ---", file=out)
+        print(factory().describe(), file=out)
+        print(file=out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

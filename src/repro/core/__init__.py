@@ -1,0 +1,44 @@
+"""The paper's contribution: RPG, CPG, and preference-directed coloring."""
+
+from repro.core.allocator import PreferenceDirectedAllocator
+from repro.core.costs import (
+    CALLEE_SAVE_COST,
+    SAVE_RESTORE_COST,
+    CostModel,
+    Strength,
+    inst_cost,
+)
+from repro.core.cpg import BOTTOM, TOP, ColoringPrecedenceGraph, build_cpg
+from repro.core.pairs import PairedLoadCandidate, find_paired_loads
+from repro.core.prefs import PreferenceConfig, build_rpg, volatility_groups
+from repro.core.rpg import (
+    PrefEdge,
+    PrefKind,
+    RegGroup,
+    RegisterPreferenceGraph,
+)
+from repro.core.select import PreferenceSelector, SelectionTrace
+
+__all__ = [
+    "PreferenceDirectedAllocator",
+    "CostModel",
+    "Strength",
+    "inst_cost",
+    "SAVE_RESTORE_COST",
+    "CALLEE_SAVE_COST",
+    "ColoringPrecedenceGraph",
+    "build_cpg",
+    "TOP",
+    "BOTTOM",
+    "PairedLoadCandidate",
+    "find_paired_loads",
+    "PreferenceConfig",
+    "build_rpg",
+    "volatility_groups",
+    "PrefEdge",
+    "PrefKind",
+    "RegGroup",
+    "RegisterPreferenceGraph",
+    "PreferenceSelector",
+    "SelectionTrace",
+]

@@ -1,0 +1,214 @@
+"""The paper's appendix cost model.
+
+    Str(V, P)        = Mem_Cost(V) - Ideal_Cost(V, P)
+    Mem_Cost(V)      = Spill_Cost(V) + Op_Cost(V)
+    Spill_Cost(V)    = sum 2*freq over uses + sum 1*freq over defs
+    Op_Cost(V)       = sum Inst_Cost*freq over uses and defs
+                       (Inst_Cost: 2 for loads, undefined for calls, else 1)
+    Ideal_Cost(V, P) = Call_Cost(V) + Ideal_Op_Cost(V, P)
+    Call_Cost(V)     = sum 3*freq over calls crossed    (volatile target)
+                     = 2                                 (non-volatile target)
+    Ideal_Op_Cost    = Op_Cost minus the full Inst_Cost of instructions
+                       the preference makes free (the eliminated move, the
+                       fused second load, the avoided zero-extension)
+
+Because ``Call_Cost`` depends on the volatility of the register finally
+chosen, a strength is a *pair* (value on a volatile register, value on a
+non-volatile register) — Figure 7 annotates v3's coalesce edge exactly
+that way ("40 when coalescing to a volatile register, but 38 for a
+non-volatile").  :class:`Strength` carries the pair.
+
+Checked against every number given in the paper's Figure 7: v4 prefers
+non-volatile with strength 28; v3's coalesce edge is 40/38; v1–v2's
+sequential edges are 50/48.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.liveness import Liveness, compute_liveness, instruction_liveness
+from repro.cfg.analysis import CFG, build_cfg
+from repro.cfg.loops import LoopInfo, compute_loops
+from repro.ir.function import Function
+from repro.ir.instructions import Call, Instruction, Load, Move, SpillLoad
+from repro.ir.values import PReg, VReg
+from repro.target.machine import TargetMachine
+
+__all__ = [
+    "SAVE_RESTORE_COST",
+    "CALLEE_SAVE_COST",
+    "inst_cost",
+    "Strength",
+    "CostModel",
+]
+
+#: Appendix: Save_Restore_Cost(I) is always 3 (per frequency-weighted call
+#: crossing, volatile placement).
+SAVE_RESTORE_COST = 3
+#: Appendix: Callee_Save_Cost(V) is always 2 (non-volatile placement).
+CALLEE_SAVE_COST = 2
+
+
+def inst_cost(instr: Instruction) -> float:
+    """Appendix ``Inst_Cost``: 2 for loads, undefined (0) for calls, 1 else."""
+    if isinstance(instr, (Load, SpillLoad)):
+        return 2.0
+    if isinstance(instr, Call):
+        return 0.0
+    return 1.0
+
+
+@dataclass(frozen=True, slots=True)
+class Strength:
+    """Preference strength as a (volatile, non-volatile) pair."""
+
+    vol: float
+    nonvol: float
+
+    @property
+    def best(self) -> float:
+        return max(self.vol, self.nonvol)
+
+    @property
+    def worst(self) -> float:
+        return min(self.vol, self.nonvol)
+
+    def for_reg(self, machine: TargetMachine, reg: PReg) -> float:
+        return self.vol if machine.is_volatile(reg) else self.nonvol
+
+    @staticmethod
+    def scalar(value: float) -> "Strength":
+        return Strength(value, value)
+
+    def __str__(self) -> str:
+        if self.vol == self.nonvol:
+            return f"{self.vol:g}"
+        return f"vol:{self.vol:g}, n-vol:{self.nonvol:g}"
+
+
+class CostModel:
+    """Per-live-range costs of one (lowered, renumbered) function."""
+
+    def __init__(
+        self,
+        func: Function,
+        machine: TargetMachine,
+        cfg: CFG | None = None,
+        loops: LoopInfo | None = None,
+        liveness: Liveness | None = None,
+    ):
+        self.func = func
+        self.machine = machine
+        cfg = cfg or build_cfg(func)
+        self.loops = loops or compute_loops(cfg)
+        liveness = liveness or compute_liveness(func, cfg)
+        self._after = instruction_liveness(func, liveness)
+
+        self._spill: dict[VReg, float] = {}
+        self._op: dict[VReg, float] = {}
+        self._cross: dict[VReg, float] = {}
+        self._cross_count: dict[VReg, int] = {}
+        self._freq_of_instr: dict[int, int] = {}
+
+        for blk in func.blocks:
+            freq = self.loops.freq(blk.label)
+            for instr in blk.instrs:
+                self._freq_of_instr[id(instr)] = freq
+                cost = inst_cost(instr)
+                for u in instr.used_regs():
+                    if isinstance(u, VReg):
+                        self._bump(self._spill, u, 2.0 * freq)
+                        self._bump(self._op, u, cost * freq)
+                for d in instr.defs():
+                    if isinstance(d, VReg):
+                        self._bump(self._spill, d, 1.0 * freq)
+                        self._bump(self._op, d, cost * freq)
+                if isinstance(instr, Call):
+                    crossing = self._after[id(instr)] - set(instr.defs())
+                    for reg in crossing:
+                        if isinstance(reg, VReg):
+                            self._bump(self._cross, reg, float(freq))
+                            self._cross_count[reg] = (
+                                self._cross_count.get(reg, 0) + 1
+                            )
+
+    @staticmethod
+    def _bump(table: dict[VReg, float], key: VReg, amount: float) -> None:
+        table[key] = table.get(key, 0.0) + amount
+
+    # ------------------------------------------------------------------
+    # appendix quantities
+
+    def freq_of(self, instr: Instruction) -> int:
+        return self._freq_of_instr.get(id(instr), 1)
+
+    def spill_cost(self, v: VReg) -> float:
+        return self._spill.get(v, 0.0)
+
+    def op_cost(self, v: VReg) -> float:
+        return self._op.get(v, 0.0)
+
+    def mem_cost(self, v: VReg) -> float:
+        return self.spill_cost(v) + self.op_cost(v)
+
+    def cross_freq(self, v: VReg) -> float:
+        """Frequency-weighted number of calls this live range crosses."""
+        return self._cross.get(v, 0.0)
+
+    def crosses_calls(self, v: VReg) -> bool:
+        return self._cross_count.get(v, 0) > 0
+
+    def call_cost(self, v: VReg, volatile: bool) -> float:
+        if volatile:
+            return SAVE_RESTORE_COST * self.cross_freq(v)
+        return float(CALLEE_SAVE_COST)
+
+    # ------------------------------------------------------------------
+    # preference strengths
+
+    def placement_strength(self, v: VReg, saving: float = 0.0) -> Strength:
+        """``Str(V, P)`` for a preference saving ``saving`` op cycles.
+
+        ``Str = Spill_Cost + saving - Call_Cost`` with ``Call_Cost``
+        depending on the volatility of the register finally chosen, hence
+        a :class:`Strength` pair.
+        """
+        base = self.spill_cost(v) + saving
+        return Strength(
+            vol=base - self.call_cost(v, volatile=True),
+            nonvol=base - self.call_cost(v, volatile=False),
+        )
+
+    def strength_volatile(self, v: VReg) -> float:
+        """Strength of a *prefers volatile registers* preference."""
+        return self.spill_cost(v) - self.call_cost(v, volatile=True)
+
+    def strength_nonvolatile(self, v: VReg) -> float:
+        """Strength of a *prefers non-volatile registers* preference."""
+        return self.spill_cost(v) - self.call_cost(v, volatile=False)
+
+    def move_saving(self, v: VReg, mv: Move) -> float:
+        """Op cycles saved when ``mv`` disappears, attributed to ``v``.
+
+        Appendix: the move's cost is zeroed "if I is a move and I defines
+        V or I *lastly* uses V" — i.e. V dies at the copy, so giving both
+        ends one register removes the instruction.
+        """
+        if mv.dst == v:
+            return inst_cost(mv) * self.freq_of(mv)
+        if mv.src == v and v not in self._after[id(mv)]:
+            return inst_cost(mv) * self.freq_of(mv)
+        return 0.0
+
+    def paired_load_saving(self, v: VReg, load: Load) -> float:
+        """Op cycles saved when ``load`` (fetching ``v``) fuses into a pair."""
+        if load.dst != v:
+            return 0.0
+        return inst_cost(load) * self.freq_of(load)
+
+    def byte_load_saving(self, v: VReg, load: Load) -> float:
+        """Zero-extension cycles avoided by a byte-capable register."""
+        if load.dst != v or load.width != "byte":
+            return 0.0
+        return 1.0 * self.freq_of(load)

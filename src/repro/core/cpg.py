@@ -1,0 +1,229 @@
+"""The Coloring Precedence Graph (Section 5.2).
+
+The CPG is a partial order on live ranges that *relaxes* the total
+select order of the simplification stack without giving up the
+colorability it certifies: any topological traversal colors every node
+that was not an optimistic (potential-spill) push.
+
+Built exactly by the paper's nine-step algorithm: replay the removals of
+the simplification stack against a working copy of the interference
+graph (WIG), tracking which nodes are *ready* (currently low-degree, so
+colorable whenever we please).  When node ``X``'s removal is replayed,
+every remaining neighbor ``W`` that is not yet ready receives an edge
+``W → X`` ("W must be colored before X"); if all remaining neighbors are
+ready, ``X`` hangs off the *top* node instead.  Newly low-degree
+neighbors become ready.  Edges made transitive by an addition are
+dropped (step 7).
+
+One deviation, for soundness with precolored nodes: the paper removes
+physical registers from the WIG outright; we instead keep each node's
+count of physical-register neighbors as a fixed degree offset, so
+"ready" (= degree < K) accounts for colors that are taken from the very
+start.  With no physical edges the two formulations coincide.
+
+Edge direction sanity (Figure 7(e), K=3, removal order v0 v4 v1 v2 v3):
+replaying v0 adds v1→v0 and v2→v0; replaying v4 adds v3→v4; v1, v2, v3
+hang off top; v0 and v4 point at bottom.  The initial ready set {v0, v4}
+is exactly the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AllocationError
+from repro.ir.values import VReg
+from repro.regalloc.igraph import AllocGraph
+from repro.regalloc.simplify import SimplifyResult
+
+__all__ = ["ColoringPrecedenceGraph", "build_cpg"]
+
+TOP = "top"
+BOTTOM = "bottom"
+
+
+@dataclass(eq=False)
+class ColoringPrecedenceGraph:
+    """Successor/predecessor maps over live ranges plus top/bottom."""
+
+    succs: dict[object, set[object]] = field(default_factory=dict)
+    preds: dict[object, set[object]] = field(default_factory=dict)
+
+    def ensure(self, node) -> None:
+        self.succs.setdefault(node, set())
+        self.preds.setdefault(node, set())
+
+    def add_edge(self, a, b) -> None:
+        self.ensure(a)
+        self.ensure(b)
+        self.succs[a].add(b)
+        self.preds[b].add(a)
+
+    def remove_edge(self, a, b) -> None:
+        self.succs.get(a, set()).discard(b)
+        self.preds.get(b, set()).discard(a)
+
+    def reaches(self, a, b) -> bool:
+        """DFS reachability a ->* b."""
+        if a == b:
+            return True
+        stack = [a]
+        seen = {a}
+        while stack:
+            node = stack.pop()
+            for nxt in self.succs.get(node, ()):
+                if nxt == b:
+                    return True
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return False
+
+    # ------------------------------------------------------------------
+
+    def live_nodes(self) -> list[VReg]:
+        return [n for n in self.succs if isinstance(n, VReg)]
+
+    def initial_queue(self) -> list[VReg]:
+        """Step 1 of the selection algorithm: the top node's successors."""
+        return sorted(
+            (n for n in self.succs.get(TOP, ()) if isinstance(n, VReg)),
+            key=lambda v: v.id,
+        )
+
+    def topological_orders_exist(self) -> bool:
+        """Cycle check (the construction can never produce one)."""
+        indeg = {n: len(p) for n, p in self.preds.items()}
+        queue = [n for n, d in indeg.items() if d == 0]
+        seen = 0
+        while queue:
+            node = queue.pop()
+            seen += 1
+            for nxt in self.succs.get(node, ()):
+                indeg[nxt] -= 1
+                if indeg[nxt] == 0:
+                    queue.append(nxt)
+        return seen == len(self.succs)
+
+    def any_topological_order(self) -> list[VReg]:
+        """One topological order over live ranges (tests/ablations)."""
+        indeg = {n: len(p) for n, p in self.preds.items()}
+        ready = sorted(
+            (n for n, d in indeg.items() if d == 0 and n not in (TOP, BOTTOM)),
+            key=_order_key,
+        )
+        queue = [TOP] + ready
+        out: list[VReg] = []
+        while queue:
+            node = queue.pop(0)
+            if isinstance(node, VReg):
+                out.append(node)
+            for nxt in sorted(self.succs.get(node, ()), key=_order_key):
+                indeg[nxt] -= 1
+                if indeg[nxt] == 0:
+                    queue.append(nxt)
+        return out
+
+    def __str__(self) -> str:
+        lines = ["ColoringPrecedenceGraph {"]
+        for node in sorted(self.succs, key=_order_key):
+            targets = sorted(self.succs[node], key=_order_key)
+            if targets:
+                shown = ", ".join(str(t) for t in targets)
+                lines.append(f"  {node} -> {shown}")
+        lines.append("}")
+        return "\n".join(lines)
+
+
+def _order_key(node) -> tuple:
+    if node == TOP:
+        return (0, 0, "")
+    if node == BOTTOM:
+        return (2, 0, "")
+    return (1, node.id, node.name or "")
+
+
+def build_cpg(
+    graph: AllocGraph,
+    wig_adjacency: dict[VReg, set[VReg]],
+    simplification: SimplifyResult,
+) -> ColoringPrecedenceGraph:
+    """Run the Section 5.2 algorithm.
+
+    ``wig_adjacency`` is the vreg-only adjacency of the interference
+    graph *before* simplification removed anything (the WIG); ``graph``
+    supplies K and the fixed physical-register degree offsets.
+    """
+    k = graph.k
+    preg_degree = {
+        node: sum(1 for n in graph.adj.get(node, ()) if not isinstance(n, VReg))
+        for node in wig_adjacency
+    }
+    remaining: dict[VReg, set[VReg]] = {
+        node: set(neigh) for node, neigh in wig_adjacency.items()
+    }
+
+    def wig_degree(node: VReg) -> int:
+        return len(remaining[node]) + preg_degree.get(node, 0)
+
+    cpg = ColoringPrecedenceGraph()
+    cpg.ensure(TOP)
+    cpg.ensure(BOTTOM)
+    ready: set[VReg] = set()
+    created: set[VReg] = set()
+
+    # Step 4: initial low-degree nodes point at bottom and are ready;
+    # potential-spill nodes point at bottom but are not ready.
+    for node in sorted(remaining, key=lambda v: v.id):
+        if wig_degree(node) < k:
+            cpg.add_edge(node, BOTTOM)
+            created.add(node)
+            ready.add(node)
+        elif node in simplification.optimistic:
+            cpg.add_edge(node, BOTTOM)
+            created.add(node)
+
+    # Steps 5-9: replay removals in simplification order.
+    for popped in simplification.stack:
+        if popped not in remaining:
+            raise AllocationError(f"stack node {popped} missing from WIG")
+        if popped not in created:
+            raise AllocationError(
+                f"CPG invariant broken: {popped} popped before being "
+                f"created (neither low-degree, optimistic, nor a neighbor "
+                f"of an earlier pop)"
+            )
+        neighbors = remaining.pop(popped)
+        for w in neighbors:
+            remaining[w].discard(popped)
+
+        non_ready = sorted((w for w in neighbors if w not in ready),
+                           key=lambda v: v.id)
+        for w in non_ready:
+            cpg.ensure(w)
+            created.add(w)
+        ready_neighbors = [w for w in neighbors if w in ready]
+        for w in ready_neighbors:
+            cpg.ensure(w)
+            created.add(w)
+
+        if non_ready:
+            for w in non_ready:
+                # Step 7: skip (and never create) transitive edges.
+                if not cpg.reaches(w, popped):
+                    cpg.add_edge(w, popped)
+                    # A pre-existing w -> bottom edge is now transitive
+                    # whenever `popped` itself reaches bottom.
+                    if BOTTOM in cpg.succs.get(w, ()) and cpg.reaches(
+                        popped, BOTTOM
+                    ):
+                        cpg.remove_edge(w, BOTTOM)
+        else:
+            cpg.add_edge(TOP, popped)
+
+        # Step 8: removal may have made neighbors low-degree.
+        for w in neighbors:
+            if w not in ready and wig_degree(w) < k:
+                ready.add(w)
+
+    return cpg

@@ -1,0 +1,67 @@
+"""Paired-load candidate detection.
+
+IA-64's coupled load (and S/390 / Power multiple loads) fetch two words
+from consecutive addresses into two registers subject to an adjacency
+constraint.  A *candidate* here is the strictest, unambiguous pattern:
+two immediately consecutive word loads off the same base register with
+offsets exactly one word apart.  The code generator (our cycle evaluator)
+can fuse the pair only when the allocator put the destinations in
+adjacent registers — which is what the RPG's ``sequential+/-``
+preferences ask for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import Load
+from repro.ir.values import Register
+
+__all__ = ["PairedLoadCandidate", "find_paired_loads", "WORD_SIZE"]
+
+WORD_SIZE = 4
+
+
+@dataclass(eq=False)
+class PairedLoadCandidate:
+    """Two fusible loads; ``second.dst`` must land at ``first.dst``+1."""
+
+    block: BasicBlock
+    first: Load
+    second: Load
+
+    def dsts(self) -> tuple[Register, Register]:
+        return (self.first.dst, self.second.dst)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PairedLoad({self.first} ; {self.second})"
+
+
+def find_paired_loads(func: Function) -> list[PairedLoadCandidate]:
+    """All fusible consecutive load pairs, each load in at most one pair."""
+    out: list[PairedLoadCandidate] = []
+    for blk in func.blocks:
+        i = 0
+        while i + 1 < len(blk.instrs):
+            a, b = blk.instrs[i], blk.instrs[i + 1]
+            if _fusible(a, b):
+                out.append(PairedLoadCandidate(blk, a, b))
+                i += 2
+            else:
+                i += 1
+    return out
+
+
+def _fusible(a, b) -> bool:
+    if not (isinstance(a, Load) and isinstance(b, Load)):
+        return False
+    if a.width != "word" or b.width != "word":
+        return False
+    if a.base != b.base or b.offset != a.offset + WORD_SIZE:
+        return False
+    if a.dst == b.dst or a.dst.rclass is not b.dst.rclass:
+        return False
+    if b.base == a.dst:  # the first load clobbers the shared base
+        return False
+    return True

@@ -1,0 +1,152 @@
+"""Aggressive post-coalescing — the paper's suggested improvement.
+
+Section 6.1 diagnoses the one-at-a-time deferred coalescing as the
+reason the integrated selector misses a few merges that aggressive
+coalescing gets, and suggests: "To improve coalescence, a technique to
+aggressively coalesce non spill-causing nodes could be added to the
+algorithm in Section 5.3."
+
+This pass implements that suggestion conservatively, *after* selection:
+for every remaining move whose two ends are colored differently and do
+not interfere, try to recolor one end to the other's register.  A
+recoloring is accepted only when it cannot regress what selection
+already achieved:
+
+* the new register is free among the node's neighbors (no spill risk —
+  "non spill-causing" by construction),
+* the appendix cost model approves: the move's cycles saved must cover
+  any placement regression (recoloring a call-crossing value from a
+  non-volatile to a volatile register pays 3 cycles per crossing),
+* the node is not one end of an honored sequential pair (paired loads
+  stay fused),
+* the old register was not itself honoring another copy relation (no
+  un-eliminating a different move).
+
+Enable with ``PreferenceDirectedAllocator(post_coalesce=True)``.
+"""
+
+from __future__ import annotations
+
+from repro.core.costs import CostModel, inst_cost
+from repro.core.rpg import PrefKind, RegisterPreferenceGraph
+from repro.ir.values import PReg, VReg
+from repro.regalloc.igraph import AllocGraph
+from repro.target.machine import TargetMachine
+
+__all__ = ["aggressive_post_coalesce"]
+
+
+def aggressive_post_coalesce(
+    graph: AllocGraph,
+    rpg: RegisterPreferenceGraph,
+    machine: TargetMachine,
+    costs: CostModel,
+    assignment: dict[VReg, PReg],
+    spilled: set[VReg],
+) -> int:
+    """Recolor move ends to merge residual copies; returns merges made."""
+    merged = 0
+    changed = True
+    while changed:
+        changed = False
+        for mv in graph.moves:
+            a, b = mv.dst, mv.src
+            color_a = _color_of(a, assignment)
+            color_b = _color_of(b, assignment)
+            if color_a is None or color_b is None or color_a == color_b:
+                continue
+            if isinstance(a, VReg) and a in spilled:
+                continue
+            if isinstance(b, VReg) and b in spilled:
+                continue
+            if graph.interferes(a, b):
+                continue
+            # Try moving a to b's register, then the other way around.
+            gain = inst_cost(mv) * costs.freq_of(mv)
+            if isinstance(a, VReg) and _can_recolor(
+                graph, rpg, machine, costs, assignment, a, color_b, gain
+            ):
+                assignment[a] = color_b
+                merged += 1
+                changed = True
+            elif isinstance(b, VReg) and _can_recolor(
+                graph, rpg, machine, costs, assignment, b, color_a, gain
+            ):
+                assignment[b] = color_a
+                merged += 1
+                changed = True
+    return merged
+
+
+def _color_of(node, assignment: dict[VReg, PReg]) -> PReg | None:
+    if isinstance(node, PReg):
+        return node
+    return assignment.get(node)
+
+
+def _can_recolor(
+    graph: AllocGraph,
+    rpg: RegisterPreferenceGraph,
+    machine: TargetMachine,
+    costs: CostModel,
+    assignment: dict[VReg, PReg],
+    node: VReg,
+    new_color: PReg,
+    gain: float,
+) -> bool:
+    old_color = assignment[node]
+    # Placement economics: the eliminated move must pay for any
+    # volatility regression (Str values from the appendix model).
+    if machine.is_volatile(old_color) != machine.is_volatile(new_color):
+        old_strength = (costs.strength_volatile(node)
+                        if machine.is_volatile(old_color)
+                        else costs.strength_nonvolatile(node))
+        new_strength = (costs.strength_volatile(node)
+                        if machine.is_volatile(new_color)
+                        else costs.strength_nonvolatile(node))
+        if gain < old_strength - new_strength:
+            return False
+    # The target register must be free among all neighbors.
+    for n in graph.all_neighbors(node):
+        if _color_of(n, assignment) == new_color:
+            return False
+    # Never break an honored sequential (paired-load) relation.
+    if _in_honored_pair(rpg, machine, assignment, node, old_color):
+        return False
+    # Never un-eliminate a different copy that the old color honored.
+    for edge in list(rpg.edges_from(node)) + list(rpg.edges_to(node)):
+        if edge.kind is not PrefKind.COALESCE:
+            continue
+        partner = edge.target if edge.src == node else edge.src
+        partner_color = _color_of(partner, assignment)
+        if partner_color == old_color:
+            return False
+    return True
+
+
+def _in_honored_pair(rpg, machine, assignment, node: VReg,
+                     old_color: PReg) -> bool:
+    regfile = machine.file(node.rclass)
+    for edge in rpg.edges_from(node):
+        if edge.kind not in (PrefKind.SEQ_NEXT, PrefKind.SEQ_PREV):
+            continue
+        partner_color = _color_of(edge.target, assignment)
+        if partner_color is None:
+            continue
+        wanted = (regfile.next_reg(partner_color)
+                  if edge.kind is PrefKind.SEQ_NEXT
+                  else regfile.prev_reg(partner_color))
+        if wanted == old_color:
+            return True
+    for edge in rpg.edges_to(node):
+        if edge.kind not in (PrefKind.SEQ_NEXT, PrefKind.SEQ_PREV):
+            continue
+        source_color = _color_of(edge.src, assignment)
+        if source_color is None:
+            continue
+        wanted = (regfile.prev_reg(source_color)
+                  if edge.kind is PrefKind.SEQ_NEXT
+                  else regfile.next_reg(source_color))
+        if wanted == old_color:
+            return True
+    return False

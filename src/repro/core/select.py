@@ -1,0 +1,349 @@
+"""Integrated, preference-directed register selection (Section 5.3).
+
+The selector iterates two moves until the CPG is exhausted:
+
+* among the *ready-to-go* nodes (no unprocessed CPG predecessor), pick
+  the node with the largest strength differential between its strongest
+  and weakest still-honorable preferences (step 2–3) — the node with the
+  most to lose goes first;
+* give that node a register by screening the available set through its
+  preferences from strongest to weakest (step 4.2), then dropping
+  registers that would block a *deferred* live-range-to-live-range
+  preference — one whose partner is not colored yet — when alternatives
+  remain (step 4.3).
+
+Spills happen inside the same loop: a node with no free register is
+spilled (it must be an optimistic push; the CPG certifies the rest), and
+a node whose preferences are all weaker than staying in memory
+(every ``Str < 0``) is *actively* spilled, which is how the paper avoids
+the Lueh–Gross objection to optimistic coloring (Section 5.4).
+
+Interpretation notes (the paper leaves these open — see DESIGN.md):
+a single honorable preference yields a differential equal to its own
+strength (memory, at strength 0, is the implicit weakest); nodes with no
+preferences rank last and tie-break on spill cost then id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.cpg import BOTTOM, TOP, ColoringPrecedenceGraph
+from repro.core.costs import CostModel
+from repro.core.rpg import (
+    PrefEdge,
+    PrefKind,
+    RegGroup,
+    RegisterPreferenceGraph,
+)
+from repro.errors import AllocationError
+from repro.ir.values import PReg, VReg
+from repro.regalloc.igraph import AllocGraph
+from repro.regalloc.select import order_colors
+from repro.target.machine import RegisterFile, TargetMachine
+
+__all__ = ["PreferenceSelector", "SelectionTrace"]
+
+NEG_INF = float("-inf")
+
+
+@dataclass(frozen=True)
+class _Ask:
+    """One evaluable preference: a register set and its realized strength."""
+
+    regs: tuple[PReg, ...]
+    strength: float
+    edge: PrefEdge
+
+
+@dataclass(eq=False)
+class SelectionTrace:
+    """Step-by-step record of the selection, for tests and examples."""
+
+    steps: list[str] = field(default_factory=list)
+
+    def note(self, message: str) -> None:
+        self.steps.append(message)
+
+    def __str__(self) -> str:
+        return "\n".join(self.steps)
+
+
+@dataclass(eq=False)
+class PreferenceSelector:
+    """One run of the Section 5.3 algorithm over one register class."""
+
+    graph: AllocGraph
+    rpg: RegisterPreferenceGraph
+    cpg: ColoringPrecedenceGraph
+    machine: TargetMachine
+    regfile: RegisterFile
+    costs: CostModel
+    optimistic: set[VReg]
+    trace: SelectionTrace | None = None
+
+    #: register order when preferences leave several candidates (the
+    #: paper's coalescing-only configurations use non-volatile first)
+    fallback_policy: str = "nonvolatile_first"
+    #: Section 5.4's active spilling of memory-preferring nodes; enabled
+    #: with the volatility preferences (it is their spill-side twin) and
+    #: off in the only-coalescing ablation
+    active_memory_spill: bool = True
+
+    assignment: dict[VReg, PReg] = field(default_factory=dict)
+    spilled: set[VReg] = field(default_factory=set)
+    honored_prefs: int = 0
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> None:
+        indegree = {
+            node: len({p for p in preds if p != TOP})
+            for node, preds in self.cpg.preds.items()
+            if isinstance(node, VReg)
+        }
+        queue: set[VReg] = {n for n, d in indegree.items() if d == 0}
+
+        while queue:
+            node = self._choose_node(queue)
+            queue.discard(node)
+            self._color_node(node)
+            for succ in self.cpg.succs.get(node, ()):
+                if succ == BOTTOM or not isinstance(succ, VReg):
+                    continue
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    queue.add(succ)
+
+    # ------------------------------------------------------------------
+    # step 2-3: node choice
+
+    def _choose_node(self, queue: set[VReg]) -> VReg:
+        best: VReg | None = None
+        best_key: tuple | None = None
+        for node in queue:
+            differential = self._differential(node)
+            key = (
+                differential,
+                self.costs.spill_cost(node),
+                -node.id,
+            )
+            if best_key is None or key > best_key:
+                best, best_key = node, key
+        assert best is not None
+        return best
+
+    def _differential(self, node: VReg) -> float:
+        available = self._available(node)
+        honorable = [
+            ask.strength for ask in self._usable_asks(node, available)
+        ]
+        if not honorable:
+            return NEG_INF
+        if len(honorable) == 1:
+            return honorable[0]
+        return max(honorable) - min(honorable)
+
+    def _available(self, node: VReg) -> list[PReg]:
+        forbidden: set[PReg] = set()
+        for n in self.graph.all_neighbors(node):
+            if isinstance(n, PReg):
+                forbidden.add(n)
+            elif n in self.assignment:
+                forbidden.add(self.assignment[n])
+        return [c for c in self.graph.colors if c not in forbidden]
+
+    def _usable_asks(self, node: VReg, available: list[PReg]) -> list[_Ask]:
+        """Steps 2.1/2.2 as concrete *asks*: (register set, strength).
+
+        Outgoing edges whose target is colored (or physical / a group)
+        ask directly.  Incoming live-range edges whose *source* is
+        already colored also ask — that is the deferred coalescence /
+        pairing being resolved from the other end.  Unhonorable asks
+        (empty intersection with ``available``) are eliminated.
+        """
+        asks: list[_Ask] = []
+        for edge in self.rpg.edges_from(node):
+            if self._unresolved(edge.target):
+                continue  # step 2.2: deferred, revisited in step 4.3
+            ask = self._ask_of_outgoing(edge, available)
+            if ask is not None:
+                asks.append(ask)
+        for edge in self.rpg.edges_to(node):
+            source_color = self.assignment.get(edge.src)
+            if source_color is None:
+                continue
+            ask = self._ask_of_incoming(edge, source_color, available)
+            if ask is not None:
+                asks.append(ask)
+        return asks
+
+    def _unresolved(self, target) -> bool:
+        """A live-range target not yet colored (and not spilled)."""
+        return (
+            isinstance(target, VReg)
+            and target not in self.assignment
+            and target not in self.spilled
+        )
+
+    def _ask_of_outgoing(self, edge: PrefEdge,
+                         available: list[PReg]) -> "_Ask | None":
+        if isinstance(edge.target, RegGroup):
+            regs = [c for c in available if c in edge.target.regs]
+            if not regs:
+                return None
+            strength = max(
+                edge.strength.for_reg(self.machine, r) for r in regs
+            )
+            return _Ask(tuple(regs), strength, edge)
+        wanted = self._resolve_target_register(edge.kind, edge.target)
+        if wanted is None or wanted not in available:
+            return None
+        return _Ask((wanted,), edge.strength.for_reg(self.machine, wanted),
+                    edge)
+
+    def _ask_of_incoming(self, edge: PrefEdge, source_color: PReg,
+                         available: list[PReg]) -> "_Ask | None":
+        """What an already-colored source wants *this* node to take."""
+        if edge.kind is PrefKind.COALESCE:
+            wanted: PReg | None = source_color
+        elif edge.kind is PrefKind.SEQ_NEXT:
+            # The source wanted (this node's register) + 1 and holds
+            # source_color, so this node must take source_color - 1.
+            wanted = self.regfile.prev_reg(source_color)
+        elif edge.kind is PrefKind.SEQ_PREV:
+            wanted = self.regfile.next_reg(source_color)
+        else:
+            return None
+        if wanted is None or wanted not in available:
+            return None
+        return _Ask((wanted,),
+                    edge.strength.for_reg(self.machine, source_color), edge)
+
+    def _resolve_target_register(self, kind: PrefKind,
+                                 target) -> PReg | None:
+        """The concrete register an outgoing edge asks for, if fixed."""
+        if isinstance(target, VReg):
+            target = self.assignment.get(target)
+            if target is None:
+                return None
+        if not isinstance(target, PReg):
+            return None
+        if kind is PrefKind.COALESCE:
+            return target
+        if kind is PrefKind.SEQ_NEXT:
+            return self.regfile.next_reg(target)
+        if kind is PrefKind.SEQ_PREV:
+            return self.regfile.prev_reg(target)
+        return None
+
+    # ------------------------------------------------------------------
+    # step 4: register choice
+
+    def _color_node(self, node: VReg) -> None:
+        available = self._available(node)
+        if not available:
+            self._spill(node, reason="no register available")
+            return
+        asks = self._usable_asks(node, available)
+        if self.active_memory_spill and not node.no_spill \
+                and self._prefers_memory(
+                    node, available, [a.strength for a in asks]
+                ):
+            # Section 5.4: strongest preference is memory.
+            self._spill(node, reason="prefers memory")
+            return
+
+        candidates = list(available)
+        for ask in sorted(asks, key=lambda a: -a.strength):
+            screened = [c for c in candidates if c in ask.regs]
+            if screened:
+                candidates = screened
+                self.honored_prefs += 1
+
+        candidates = self._respect_deferred(node, candidates)
+        color = next(
+            c for c in order_colors(self.graph.colors, self.regfile,
+                                    self.fallback_policy)
+            if c in candidates
+        )
+        self.assignment[node] = color
+        if self.trace is not None:
+            self.trace.note(f"{node} -> {color} (of {len(available)} free)")
+
+    def _prefers_memory(self, node: VReg, available: list[PReg],
+                        pref_strengths: list[float]) -> bool:
+        """Is the strongest preference "be located in memory"?
+
+        Memory sits at strength 0.  The comparison must include the
+        *placement* strengths the available registers offer even when the
+        RPG carries no volatility edges (the only-coalescing ablation):
+        failing to honor a negative-strength coalesce edge does not mean
+        memory wins — a plain non-volatile placement may still beat it.
+        """
+        best = max(pref_strengths, default=NEG_INF)
+        if any(self.machine.is_volatile(r) for r in available):
+            best = max(best, self.costs.strength_volatile(node))
+        if any(not self.machine.is_volatile(r) for r in available):
+            best = max(best, self.costs.strength_nonvolatile(node))
+        return best < 0.0
+
+    def _respect_deferred(
+        self, node: VReg, candidates: list[PReg]
+    ) -> list[PReg]:
+        """Step 4.3: keep registers that leave deferred partners a chance."""
+        for edge in self.rpg.edges_from(node):
+            if not self._unresolved(edge.target):
+                continue
+            partner = edge.target
+            assert isinstance(partner, VReg)
+            partner_free = set(self._available(partner))
+            keep = [
+                c for c in candidates
+                if self._partner_register(edge.kind, c, outgoing=True)
+                in partner_free
+            ]
+            if keep:
+                candidates = keep
+        for edge in self.rpg.edges_to(node):
+            if not self._unresolved(edge.src):
+                continue
+            partner_free = set(self._available(edge.src))
+            keep = [
+                c for c in candidates
+                if self._partner_register(edge.kind, c, outgoing=False)
+                in partner_free
+            ]
+            if keep:
+                candidates = keep
+        return candidates
+
+    def _partner_register(self, kind: PrefKind, mine: PReg,
+                          outgoing: bool) -> PReg | None:
+        """Register the deferred partner must later take if I pick ``mine``.
+
+        ``outgoing``: the deferred edge is mine (I want something relative
+        to the partner); otherwise the partner wants something relative to
+        me and the adjacency flips.
+        """
+        if kind is PrefKind.COALESCE:
+            return mine
+        if kind is PrefKind.SEQ_NEXT:
+            # Outgoing: I want partner+1 => partner takes mine-1.
+            # Incoming: partner wants mine+1.
+            return self.regfile.prev_reg(mine) if outgoing \
+                else self.regfile.next_reg(mine)
+        if kind is PrefKind.SEQ_PREV:
+            return self.regfile.next_reg(mine) if outgoing \
+                else self.regfile.prev_reg(mine)
+        return None
+
+    def _spill(self, node: VReg, reason: str) -> None:
+        if node not in self.optimistic and reason == "no register available":
+            raise AllocationError(
+                f"CPG colorability violated: non-optimistic node {node} "
+                f"has no free register"
+            )
+        self.spilled.add(node)
+        if self.trace is not None:
+            self.trace.note(f"{node} spilled ({reason})")

@@ -1,0 +1,65 @@
+"""RTL-style intermediate representation.
+
+The IR is the substrate every other subsystem builds on: values and
+register classes (:mod:`repro.ir.values`), the instruction set
+(:mod:`repro.ir.instructions`), functions/blocks/modules
+(:mod:`repro.ir.function`), an imperative builder, a printer, a parser for
+the printed syntax, and a structural validator.
+"""
+
+from repro.ir.builder import IRBuilder
+from repro.ir.function import BasicBlock, Function, Module
+from repro.ir.instructions import (
+    BinOp,
+    Branch,
+    Call,
+    ConstInst,
+    Instruction,
+    Jump,
+    Load,
+    Move,
+    Phi,
+    Ret,
+    SpillLoad,
+    SpillStore,
+    Store,
+    UnaryOp,
+)
+from repro.ir.parser import parse_function, parse_module
+from repro.ir.printer import print_function, print_module, side_by_side
+from repro.ir.validate import validate_function, validate_module
+from repro.ir.values import Const, PReg, RegClass, Register, Value, VReg
+
+__all__ = [
+    "IRBuilder",
+    "BasicBlock",
+    "Function",
+    "Module",
+    "Instruction",
+    "ConstInst",
+    "Move",
+    "UnaryOp",
+    "BinOp",
+    "Load",
+    "Store",
+    "Call",
+    "Phi",
+    "Jump",
+    "Branch",
+    "Ret",
+    "SpillLoad",
+    "SpillStore",
+    "parse_function",
+    "parse_module",
+    "print_function",
+    "print_module",
+    "side_by_side",
+    "validate_function",
+    "validate_module",
+    "Const",
+    "PReg",
+    "VReg",
+    "RegClass",
+    "Register",
+    "Value",
+]

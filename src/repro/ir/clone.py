@@ -1,0 +1,83 @@
+"""Deep-cloning of functions and modules.
+
+Allocation rewrites IR in place, so comparing allocators on the same
+input requires independent copies.  Registers and constants are immutable
+(frozen dataclasses) and shared; instructions and blocks are rebuilt.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import BasicBlock, Function, Module
+from repro.ir.instructions import (
+    BinOp,
+    Branch,
+    Call,
+    ConstInst,
+    Instruction,
+    Jump,
+    Load,
+    Move,
+    Phi,
+    Ret,
+    SpillLoad,
+    SpillStore,
+    Store,
+    UnaryOp,
+)
+
+__all__ = ["clone_function", "clone_module", "clone_instruction"]
+
+
+def clone_instruction(instr: Instruction) -> Instruction:
+    """A fresh instruction object with the same (shared) operands."""
+    if isinstance(instr, ConstInst):
+        return ConstInst(instr.dst, instr.value)
+    if isinstance(instr, Move):
+        return Move(instr.dst, instr.src)
+    if isinstance(instr, UnaryOp):
+        return UnaryOp(instr.op, instr.dst, instr.src)
+    if isinstance(instr, BinOp):
+        return BinOp(instr.op, instr.dst, instr.lhs, instr.rhs)
+    if isinstance(instr, Load):
+        return Load(instr.dst, instr.base, instr.offset, instr.width)
+    if isinstance(instr, Store):
+        return Store(instr.base, instr.offset, instr.src)
+    if isinstance(instr, Call):
+        return Call(instr.callee, list(instr.args), instr.dst,
+                    list(instr.reg_uses), list(instr.reg_defs))
+    if isinstance(instr, Phi):
+        return Phi(instr.dst, dict(instr.incoming))
+    if isinstance(instr, Jump):
+        return Jump(instr.target)
+    if isinstance(instr, Branch):
+        return Branch(instr.cond, instr.iftrue, instr.iffalse)
+    if isinstance(instr, Ret):
+        return Ret(instr.src, list(instr.reg_uses))
+    if isinstance(instr, SpillLoad):
+        return SpillLoad(instr.dst, instr.slot)
+    if isinstance(instr, SpillStore):
+        return SpillStore(instr.slot, instr.src)
+    raise TypeError(f"cannot clone {type(instr).__name__}")
+
+
+def clone_function(func: Function) -> Function:
+    """An independent deep copy of ``func``."""
+    out = Function(
+        name=func.name,
+        params=list(func.params),
+        next_vreg_id=func.next_vreg_id,
+        next_slot=func.next_slot,
+        returns_value=func.returns_value,
+    )
+    for blk in func.blocks:
+        out.blocks.append(
+            BasicBlock(blk.label, [clone_instruction(i) for i in blk.instrs])
+        )
+    return out
+
+
+def clone_module(module: Module) -> Module:
+    out = Module(module.name)
+    for func in module.functions:
+        out.add(clone_function(func))
+    return out

@@ -1,0 +1,169 @@
+"""Basic blocks, functions, and modules.
+
+A :class:`Function` owns an ordered list of :class:`BasicBlock`; the first
+block is the entry.  Control flow is by label, resolved through the
+function's block map, so blocks can be freely rewritten without fixing up
+object references.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import IRError
+from repro.ir.instructions import Instruction, Phi
+from repro.ir.values import RegClass, VReg
+
+__all__ = ["BasicBlock", "Function", "Module"]
+
+
+@dataclass(eq=False)
+class BasicBlock:
+    """A labeled straight-line sequence ending in a terminator."""
+
+    label: str
+    instrs: list[Instruction] = field(default_factory=list)
+
+    @property
+    def terminator(self) -> Instruction | None:
+        """The final instruction if it is a terminator, else ``None``."""
+        if self.instrs and self.instrs[-1].is_terminator:
+            return self.instrs[-1]
+        return None
+
+    def phis(self) -> list[Phi]:
+        """The leading phi instructions of this block."""
+        out = []
+        for instr in self.instrs:
+            if isinstance(instr, Phi):
+                out.append(instr)
+            else:
+                break
+        return out
+
+    def non_phi_instrs(self) -> list[Instruction]:
+        """Instructions after the leading phis."""
+        return self.instrs[len(self.phis()):]
+
+    def successors(self) -> tuple[str, ...]:
+        """Labels of successor blocks (empty if no terminator yet)."""
+        term = self.terminator
+        return term.block_targets() if term else ()
+
+    def insert_before_terminator(self, instr: Instruction) -> None:
+        """Insert ``instr`` just before the block terminator."""
+        if self.terminator is None:
+            self.instrs.append(instr)
+        else:
+            self.instrs.insert(len(self.instrs) - 1, instr)
+
+    def __str__(self) -> str:
+        lines = [f"{self.label}:"]
+        lines.extend(f"  {instr}" for instr in self.instrs)
+        return "\n".join(lines)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instrs)
+
+
+@dataclass(eq=False)
+class Function:
+    """A single function: parameters plus an ordered list of blocks."""
+
+    name: str
+    params: list[VReg] = field(default_factory=list)
+    blocks: list[BasicBlock] = field(default_factory=list)
+    #: Next fresh virtual register id (monotone; never reused).
+    next_vreg_id: int = 0
+    #: Next fresh spill slot index.
+    next_slot: int = 0
+    #: True when the function returns a value (drives lowering).
+    returns_value: bool = False
+
+    @property
+    def entry(self) -> BasicBlock:
+        if not self.blocks:
+            raise IRError(f"function {self.name} has no blocks")
+        return self.blocks[0]
+
+    def block(self, label: str) -> BasicBlock:
+        """Look up a block by label."""
+        for blk in self.blocks:
+            if blk.label == label:
+                return blk
+        raise IRError(f"function {self.name}: no block labeled {label!r}")
+
+    def block_map(self) -> dict[str, BasicBlock]:
+        """Label -> block mapping (rebuilt on each call; blocks mutate)."""
+        return {blk.label: blk for blk in self.blocks}
+
+    def new_vreg(
+        self,
+        rclass: RegClass = RegClass.INT,
+        name: str | None = None,
+        no_spill: bool = False,
+    ) -> VReg:
+        """Allocate a fresh virtual register."""
+        reg = VReg(self.next_vreg_id, rclass, name, no_spill)
+        self.next_vreg_id += 1
+        return reg
+
+    def new_slot(self) -> int:
+        """Allocate a fresh spill slot index."""
+        slot = self.next_slot
+        self.next_slot += 1
+        return slot
+
+    def instructions(self) -> Iterator[tuple[BasicBlock, Instruction]]:
+        """Iterate ``(block, instruction)`` pairs in layout order."""
+        for blk in self.blocks:
+            for instr in blk.instrs:
+                yield blk, instr
+
+    def instruction_count(self) -> int:
+        return sum(len(blk.instrs) for blk in self.blocks)
+
+    def vregs(self) -> set[VReg]:
+        """All virtual registers appearing anywhere in the function."""
+        out: set[VReg] = set(self.params)
+        for _, instr in self.instructions():
+            for v in instr.uses():
+                if isinstance(v, VReg):
+                    out.add(v)
+            for d in instr.defs():
+                if isinstance(d, VReg):
+                    out.add(d)
+        return out
+
+    def __str__(self) -> str:
+        params = ", ".join(str(p) for p in self.params)
+        head = f"func {self.name}({params})"
+        if self.returns_value:
+            head += " -> value"
+        body = "\n".join(str(blk) for blk in self.blocks)
+        return f"{head} {{\n{body}\n}}"
+
+
+@dataclass(eq=False)
+class Module:
+    """A collection of functions compiled and allocated together."""
+
+    name: str = "module"
+    functions: list[Function] = field(default_factory=list)
+
+    def function(self, name: str) -> Function:
+        for func in self.functions:
+            if func.name == name:
+                return func
+        raise IRError(f"module {self.name}: no function named {name!r}")
+
+    def add(self, func: Function) -> Function:
+        self.functions.append(func)
+        return func
+
+    def instruction_count(self) -> int:
+        return sum(f.instruction_count() for f in self.functions)
+
+    def __str__(self) -> str:
+        return "\n\n".join(str(f) for f in self.functions)

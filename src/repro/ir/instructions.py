@@ -1,0 +1,461 @@
+"""Instruction set of the RTL-style IR.
+
+All instructions expose a uniform operand interface used by every analysis
+and by the allocators:
+
+* :meth:`Instruction.uses` — values read (registers and constants),
+* :meth:`Instruction.defs` — registers written,
+* :meth:`Instruction.replace` — rewrite operands through a mapping
+  (used by out-of-SSA, renumbering, spill insertion, and final rewriting).
+
+Identity semantics: instructions are mutable and hashable by identity
+(``eq=False``), so they can key side tables built by the analyses.
+
+Calls exist in two forms.  Before the calling-convention lowering pass a
+:class:`Call` carries ``args``/``dst`` virtual operands.  Lowering moves the
+arguments into physical parameter registers, replaces ``dst`` by a move from
+the return register, and records the convention registers in ``reg_uses`` /
+``reg_defs``; from then on the call reads/writes physical registers only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.values import PReg, Register, Value, VReg
+
+__all__ = [
+    "Instruction",
+    "ConstInst",
+    "Move",
+    "UnaryOp",
+    "BinOp",
+    "Load",
+    "Store",
+    "Call",
+    "Phi",
+    "Jump",
+    "Branch",
+    "Ret",
+    "SpillLoad",
+    "SpillStore",
+    "INT_BINOPS",
+    "FLOAT_BINOPS",
+    "COMPARE_OPS",
+    "UNARY_OPS",
+]
+
+#: Integer binary opcodes understood by the interpreters.
+INT_BINOPS = (
+    "add", "sub", "mul", "div", "rem",
+    "and", "or", "xor", "shl", "shr",
+)
+
+#: Float binary opcodes.
+FLOAT_BINOPS = ("fadd", "fsub", "fmul", "fdiv")
+
+#: Comparison opcodes (always produce an INT 0/1 result).
+COMPARE_OPS = ("cmpeq", "cmpne", "cmplt", "cmple", "cmpgt", "cmpge")
+
+#: Unary opcodes.
+UNARY_OPS = ("neg", "not", "zext8", "fneg", "itof", "ftoi")
+
+
+def _is_reg(value: Value) -> bool:
+    return isinstance(value, (VReg, PReg))
+
+
+@dataclass(eq=False, slots=True)
+class Instruction:
+    """Abstract base of all instructions."""
+
+    def uses(self) -> list[Value]:
+        """Values read by this instruction (registers and constants)."""
+        raise NotImplementedError
+
+    def defs(self) -> list[Register]:
+        """Registers written by this instruction."""
+        raise NotImplementedError
+
+    def used_regs(self) -> list[Register]:
+        """Registers (only) read by this instruction."""
+        return [v for v in self.uses() if _is_reg(v)]
+
+    def replace(self, mapping: dict[Value, Value]) -> None:
+        """Rewrite every operand ``v`` to ``mapping.get(v, v)`` in place."""
+        raise NotImplementedError
+
+    def replace_uses(self, mapping: dict[Value, Value]) -> None:
+        """Rewrite use operands only, leaving the destination untouched.
+
+        Needed when an instruction reads and writes the same register and
+        the two occurrences must rename differently (SSA renaming).
+        """
+        dst = getattr(self, "dst", None) if hasattr(self, "dst") else None
+        self.replace(mapping)
+        if dst is not None:
+            self.dst = dst  # type: ignore[attr-defined]
+
+    def replace_defs(self, mapping: dict[Value, Value]) -> None:
+        """Rewrite the destination register only."""
+        dst = getattr(self, "dst", None) if hasattr(self, "dst") else None
+        if dst is not None and dst in mapping:
+            self.dst = mapping[dst]  # type: ignore[attr-defined]
+
+    @property
+    def is_move(self) -> bool:
+        """True for register-to-register copies (coalescing candidates)."""
+        return False
+
+    @property
+    def is_terminator(self) -> bool:
+        """True for instructions that end a basic block."""
+        return False
+
+    def block_targets(self) -> tuple[str, ...]:
+        """Labels of successor blocks (empty for non-terminators)."""
+        return ()
+
+
+@dataclass(eq=False, slots=True)
+class ConstInst(Instruction):
+    """``dst = value`` — materialize an immediate."""
+
+    dst: Register
+    value: int | float
+
+    def uses(self) -> list[Value]:
+        return []
+
+    def defs(self) -> list[Register]:
+        return [self.dst]
+
+    def replace(self, mapping: dict[Value, Value]) -> None:
+        self.dst = mapping.get(self.dst, self.dst)
+
+    def __str__(self) -> str:
+        return f"{self.dst} = {self.value}"
+
+
+@dataclass(eq=False, slots=True)
+class Move(Instruction):
+    """``dst = src`` — a register-to-register copy."""
+
+    dst: Register
+    src: Register
+
+    def uses(self) -> list[Value]:
+        return [self.src]
+
+    def defs(self) -> list[Register]:
+        return [self.dst]
+
+    def replace(self, mapping: dict[Value, Value]) -> None:
+        self.dst = mapping.get(self.dst, self.dst)
+        self.src = mapping.get(self.src, self.src)
+
+    @property
+    def is_move(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"{self.dst} = {self.src}"
+
+
+@dataclass(eq=False, slots=True)
+class UnaryOp(Instruction):
+    """``dst = op src``."""
+
+    op: str
+    dst: Register
+    src: Value
+
+    def uses(self) -> list[Value]:
+        return [self.src]
+
+    def defs(self) -> list[Register]:
+        return [self.dst]
+
+    def replace(self, mapping: dict[Value, Value]) -> None:
+        self.dst = mapping.get(self.dst, self.dst)
+        self.src = mapping.get(self.src, self.src)
+
+    def __str__(self) -> str:
+        return f"{self.dst} = {self.op} {self.src}"
+
+
+@dataclass(eq=False, slots=True)
+class BinOp(Instruction):
+    """``dst = lhs op rhs``."""
+
+    op: str
+    dst: Register
+    lhs: Value
+    rhs: Value
+
+    def uses(self) -> list[Value]:
+        return [self.lhs, self.rhs]
+
+    def defs(self) -> list[Register]:
+        return [self.dst]
+
+    def replace(self, mapping: dict[Value, Value]) -> None:
+        self.dst = mapping.get(self.dst, self.dst)
+        self.lhs = mapping.get(self.lhs, self.lhs)
+        self.rhs = mapping.get(self.rhs, self.rhs)
+
+    def __str__(self) -> str:
+        return f"{self.dst} = {self.op} {self.lhs}, {self.rhs}"
+
+
+@dataclass(eq=False, slots=True)
+class Load(Instruction):
+    """``dst = [base + offset]``.
+
+    ``width`` is ``"word"`` or ``"byte"``.  Byte loads model the paper's
+    *limited register usage* (type-2) preference: on an irregular target
+    only a subset of the integer file can receive a byte load without an
+    extra zero-extension.
+    """
+
+    dst: Register
+    base: Value
+    offset: int = 0
+    width: str = "word"
+
+    def uses(self) -> list[Value]:
+        return [self.base]
+
+    def defs(self) -> list[Register]:
+        return [self.dst]
+
+    def replace(self, mapping: dict[Value, Value]) -> None:
+        self.dst = mapping.get(self.dst, self.dst)
+        self.base = mapping.get(self.base, self.base)
+
+    def __str__(self) -> str:
+        suffix = ".b" if self.width == "byte" else ""
+        return f"{self.dst} = load{suffix} [{self.base}+{self.offset}]"
+
+
+@dataclass(eq=False, slots=True)
+class Store(Instruction):
+    """``[base + offset] = src``."""
+
+    base: Value
+    offset: int
+    src: Value
+
+    def uses(self) -> list[Value]:
+        return [self.base, self.src]
+
+    def defs(self) -> list[Register]:
+        return []
+
+    def replace(self, mapping: dict[Value, Value]) -> None:
+        self.base = mapping.get(self.base, self.base)
+        self.src = mapping.get(self.src, self.src)
+
+    def __str__(self) -> str:
+        return f"store [{self.base}+{self.offset}] = {self.src}"
+
+
+@dataclass(eq=False, slots=True)
+class Call(Instruction):
+    """A function call.
+
+    Pre-lowering: ``args`` holds virtual argument values and ``dst`` the
+    virtual result register (or ``None``).  Post-lowering: ``args`` is empty,
+    ``dst`` is ``None``, and ``reg_uses``/``reg_defs`` record the physical
+    parameter and return registers established by the calling convention.
+    """
+
+    callee: str
+    args: list[Value] = field(default_factory=list)
+    dst: Register | None = None
+    reg_uses: list[PReg] = field(default_factory=list)
+    reg_defs: list[PReg] = field(default_factory=list)
+
+    def uses(self) -> list[Value]:
+        return list(self.args) + list(self.reg_uses)
+
+    def defs(self) -> list[Register]:
+        out: list[Register] = []
+        if self.dst is not None:
+            out.append(self.dst)
+        out.extend(self.reg_defs)
+        return out
+
+    def replace(self, mapping: dict[Value, Value]) -> None:
+        self.args = [mapping.get(a, a) for a in self.args]
+        if self.dst is not None:
+            self.dst = mapping.get(self.dst, self.dst)
+
+    @property
+    def lowered(self) -> bool:
+        """True once the calling convention has been applied."""
+        return not self.args and self.dst is None
+
+    def __str__(self) -> str:
+        if not self.lowered:
+            args = ", ".join(str(a) for a in self.args)
+            head = f"{self.dst} = " if self.dst is not None else ""
+            return f"{head}call {self.callee}({args})"
+        uses = ", ".join(str(r) for r in self.reg_uses)
+        return f"call {self.callee} [{uses}]"
+
+
+@dataclass(eq=False, slots=True)
+class Phi(Instruction):
+    """``dst = phi [label1: v1, label2: v2, ...]`` (SSA only)."""
+
+    dst: Register
+    incoming: dict[str, Value] = field(default_factory=dict)
+
+    def uses(self) -> list[Value]:
+        return list(self.incoming.values())
+
+    def defs(self) -> list[Register]:
+        return [self.dst]
+
+    def replace(self, mapping: dict[Value, Value]) -> None:
+        self.dst = mapping.get(self.dst, self.dst)
+        self.incoming = {
+            label: mapping.get(v, v) for label, v in self.incoming.items()
+        }
+
+    def __str__(self) -> str:
+        inc = ", ".join(f"{lbl}: {v}" for lbl, v in sorted(self.incoming.items()))
+        return f"{self.dst} = phi [{inc}]"
+
+
+@dataclass(eq=False, slots=True)
+class Jump(Instruction):
+    """Unconditional branch to ``target``."""
+
+    target: str
+
+    def uses(self) -> list[Value]:
+        return []
+
+    def defs(self) -> list[Register]:
+        return []
+
+    def replace(self, mapping: dict[Value, Value]) -> None:
+        pass
+
+    @property
+    def is_terminator(self) -> bool:
+        return True
+
+    def block_targets(self) -> tuple[str, ...]:
+        return (self.target,)
+
+    def __str__(self) -> str:
+        return f"jump {self.target}"
+
+
+@dataclass(eq=False, slots=True)
+class Branch(Instruction):
+    """Conditional branch: nonzero ``cond`` goes to ``iftrue``."""
+
+    cond: Value
+    iftrue: str
+    iffalse: str
+
+    def uses(self) -> list[Value]:
+        return [self.cond]
+
+    def defs(self) -> list[Register]:
+        return []
+
+    def replace(self, mapping: dict[Value, Value]) -> None:
+        self.cond = mapping.get(self.cond, self.cond)
+
+    @property
+    def is_terminator(self) -> bool:
+        return True
+
+    def block_targets(self) -> tuple[str, ...]:
+        return (self.iftrue, self.iffalse)
+
+    def __str__(self) -> str:
+        return f"branch {self.cond}, {self.iftrue}, {self.iffalse}"
+
+
+@dataclass(eq=False, slots=True)
+class Ret(Instruction):
+    """Function return.
+
+    Pre-lowering ``src`` is the virtual return value; lowering replaces it
+    with a move into the return register and records that register in
+    ``reg_uses`` so it stays live to the exit.
+    """
+
+    src: Value | None = None
+    reg_uses: list[PReg] = field(default_factory=list)
+
+    def uses(self) -> list[Value]:
+        out: list[Value] = []
+        if self.src is not None:
+            out.append(self.src)
+        out.extend(self.reg_uses)
+        return out
+
+    def defs(self) -> list[Register]:
+        return []
+
+    def replace(self, mapping: dict[Value, Value]) -> None:
+        if self.src is not None:
+            self.src = mapping.get(self.src, self.src)
+
+    @property
+    def is_terminator(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        if self.src is not None:
+            return f"ret {self.src}"
+        if self.reg_uses:
+            return f"ret [{', '.join(str(r) for r in self.reg_uses)}]"
+        return "ret"
+
+
+@dataclass(eq=False, slots=True)
+class SpillLoad(Instruction):
+    """``dst = reload slot`` — reload of a spilled live range."""
+
+    dst: Register
+    slot: int
+
+    def uses(self) -> list[Value]:
+        return []
+
+    def defs(self) -> list[Register]:
+        return [self.dst]
+
+    def replace(self, mapping: dict[Value, Value]) -> None:
+        self.dst = mapping.get(self.dst, self.dst)
+
+    def __str__(self) -> str:
+        return f"{self.dst} = reload slot{self.slot}"
+
+
+@dataclass(eq=False, slots=True)
+class SpillStore(Instruction):
+    """``spill slot = src`` — store of a spilled live range."""
+
+    slot: int
+    src: Value
+
+    def uses(self) -> list[Value]:
+        return [self.src]
+
+    def defs(self) -> list[Register]:
+        return []
+
+    def replace(self, mapping: dict[Value, Value]) -> None:
+        self.src = mapping.get(self.src, self.src)
+
+    def __str__(self) -> str:
+        return f"spill slot{self.slot} = {self.src}"

@@ -1,0 +1,82 @@
+"""Textual rendering of IR, with optional per-block annotations.
+
+The instruction ``__str__`` methods define the concrete syntax; this module
+adds function/module layout, annotation hooks (used to print liveness or
+allocation results next to the code), and a side-by-side diff helper used
+by the examples.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.ir.function import BasicBlock, Function, Module
+from repro.ir.instructions import Instruction
+
+__all__ = ["print_function", "print_module", "side_by_side"]
+
+AnnotateBlock = Callable[[BasicBlock], str]
+AnnotateInstr = Callable[[Instruction], str]
+
+
+def print_function(
+    func: Function,
+    annotate_block: AnnotateBlock | None = None,
+    annotate_instr: AnnotateInstr | None = None,
+) -> str:
+    """Render ``func``; annotation callbacks add trailing comments."""
+    params = ", ".join(str(p) for p in func.params)
+    head = f"func {func.name}({params})"
+    if func.returns_value:
+        head += " -> value"
+    lines = [head + " {"]
+    for blk in func.blocks:
+        header = f"{blk.label}:"
+        if annotate_block is not None:
+            note = annotate_block(blk)
+            if note:
+                header += f"        ; {note}"
+        lines.append(header)
+        for instr in blk.instrs:
+            text = f"  {instr}"
+            if annotate_instr is not None:
+                note = annotate_instr(instr)
+                if note:
+                    text = f"{text:<40} ; {note}"
+            lines.append(text)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_module(module: Module) -> str:
+    return "\n\n".join(print_function(f) for f in module.functions)
+
+
+def side_by_side(
+    left: Function,
+    right: Function,
+    titles: tuple[str, str] = ("before", "after"),
+    width: int = 44,
+) -> str:
+    """Two functions rendered in parallel columns (examples/debugging)."""
+    left_lines = print_function(left).splitlines()
+    right_lines = print_function(right).splitlines()
+    height = max(len(left_lines), len(right_lines))
+    left_lines += [""] * (height - len(left_lines))
+    right_lines += [""] * (height - len(right_lines))
+    out = [f"{titles[0]:<{width}}| {titles[1]}", "-" * (2 * width)]
+    for l, r in zip(left_lines, right_lines):
+        out.append(f"{l:<{width}}| {r}")
+    return "\n".join(out)
+
+
+def format_assignment(assignment: Mapping, per_line: int = 4) -> str:
+    """Render a live-range -> register mapping compactly."""
+    items = sorted(
+        (str(k), str(v)) for k, v in assignment.items()
+    )
+    cells = [f"{k} -> {v}" for k, v in items]
+    lines = []
+    for i in range(0, len(cells), per_line):
+        lines.append("  ".join(f"{c:<18}" for c in cells[i:i + per_line]).rstrip())
+    return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""Value kinds used as instruction operands.
+
+The IR is register-transfer style: operands are virtual registers
+(:class:`VReg`), physical registers (:class:`PReg`, which appear after the
+calling-convention lowering pass and after register allocation), and
+integer/float immediates (:class:`Const`).
+
+Registers carry a :class:`RegClass`; the allocator never mixes classes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["RegClass", "VReg", "PReg", "Const", "Value", "Register"]
+
+
+class RegClass(enum.Enum):
+    """Architectural register class of a value."""
+
+    INT = "int"
+    FLOAT = "float"
+
+    def prefix(self) -> str:
+        """Printer prefix for registers of this class (``v``/``f``)."""
+        return "v" if self is RegClass.INT else "f"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RegClass.{self.name}"
+
+
+@dataclass(frozen=True, slots=True)
+class VReg:
+    """A virtual register (an unbounded supply, one per SSA-ish name).
+
+    ``no_spill`` marks short-lived temporaries introduced by spill code;
+    spilling them again would not terminate, so allocators treat their
+    spill cost as infinite.
+    """
+
+    id: int
+    rclass: RegClass = RegClass.INT
+    name: str | None = None
+    no_spill: bool = False
+
+    def __str__(self) -> str:
+        base = f"%{self.name}" if self.name else f"%{self.rclass.prefix()}{self.id}"
+        return base
+
+    def __repr__(self) -> str:
+        return str(self)
+
+
+@dataclass(frozen=True, slots=True)
+class PReg:
+    """A physical register, identified by class and index within the file."""
+
+    index: int
+    rclass: RegClass = RegClass.INT
+    name: str | None = None
+
+    def __str__(self) -> str:
+        if self.name:
+            return f"${self.name}"
+        prefix = "r" if self.rclass is RegClass.INT else "fr"
+        return f"${prefix}{self.index}"
+
+    def __repr__(self) -> str:
+        return str(self)
+
+
+@dataclass(frozen=True, slots=True)
+class Const:
+    """An immediate operand."""
+
+    value: int | float
+    rclass: RegClass = RegClass.INT
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+    def __repr__(self) -> str:
+        return str(self)
+
+
+Register = VReg | PReg
+Value = VReg | PReg | Const

@@ -1,0 +1,85 @@
+"""End-to-end compilation pipeline.
+
+    generate -> validate -> SSA -> DCE -> out-of-SSA (copy-rich) ->
+    lower calling convention -> [allocator under test] -> verify ->
+    cycle estimate
+
+``prepare_module`` produces the allocator input once; ``allocate_module``
+clones it per allocator so every algorithm colors the *same* code — the
+precondition for the ratio figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.clone import clone_module
+from repro.ir.function import Function, Module
+from repro.ir.validate import validate_function
+from repro.regalloc.base import (
+    AllocationResult,
+    AllocationStats,
+    Allocator,
+    allocate_function,
+)
+from repro.regalloc.verify import verify_allocation
+from repro.sim.cycles import CycleReport, estimate_cycles
+from repro.ssa.construct import to_ssa
+from repro.ssa.dce import eliminate_dead_code
+from repro.ssa.destruct import from_ssa
+from repro.target.lowering import lower_function
+from repro.target.machine import TargetMachine
+
+__all__ = ["ModuleAllocation", "prepare_function", "prepare_module",
+           "allocate_module"]
+
+
+@dataclass(eq=False)
+class ModuleAllocation:
+    """One allocator's results over one prepared module."""
+
+    allocator: str
+    machine: TargetMachine
+    results: list[AllocationResult] = field(default_factory=list)
+    stats: AllocationStats = field(default_factory=AllocationStats)
+    cycles: CycleReport = field(default_factory=CycleReport)
+
+
+def prepare_function(func: Function, machine: TargetMachine) -> Function:
+    """Run the pre-allocation pipeline on ``func`` in place."""
+    validate_function(func)
+    to_ssa(func)
+    validate_function(func, ssa=True)
+    eliminate_dead_code(func)
+    from_ssa(func)
+    lower_function(func, machine)
+    validate_function(func)
+    return func
+
+
+def prepare_module(module: Module, machine: TargetMachine) -> Module:
+    """A lowered deep copy of ``module``, ready for any allocator."""
+    prepared = clone_module(module)
+    for func in prepared.functions:
+        prepare_function(func, machine)
+    return prepared
+
+
+def allocate_module(
+    prepared: Module,
+    machine: TargetMachine,
+    allocator: Allocator,
+    verify: bool = True,
+) -> ModuleAllocation:
+    """Clone ``prepared``, allocate every function, sum stats and cycles."""
+    work = clone_module(prepared)
+    out = ModuleAllocation(allocator=allocator.name, machine=machine)
+    out.stats.allocator = allocator.name
+    for func in work.functions:
+        result = allocate_function(func, machine, allocator)
+        if verify:
+            verify_allocation(func, machine)
+        out.results.append(result)
+        out.stats.merge(result.stats)
+        out.cycles.add(estimate_cycles(func, machine))
+    return out

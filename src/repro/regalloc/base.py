@@ -1,0 +1,307 @@
+"""Allocator framework: round context, driver loop, stats, rewriting.
+
+Every allocator variant (Chaitin, Briggs, iterated, optimistic,
+call-cost, preference-directed) implements one *round*: given the current
+function's interference structure, produce either a complete coloring or
+a set of live ranges to spill.  The shared :func:`allocate_function`
+driver runs rounds to a fixed point — renumber, analyze, color, and on
+spills insert spill code and rebuild, exactly the loop of the paper's
+Figures 1–3 and 8 — then rewrites the function onto physical registers.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.analysis.interference import InterferenceGraph, build_interference
+from repro.analysis.liveness import Liveness, compute_liveness
+from repro.analysis.renumber import renumber
+from repro.cfg.analysis import CFG, build_cfg
+from repro.cfg.loops import LoopInfo, compute_loops
+from repro.errors import AllocationError
+from repro.ir.function import Function
+from repro.ir.instructions import Move, SpillLoad, SpillStore
+from repro.ir.values import PReg, RegClass, Register, VReg
+from repro.regalloc.costs import compute_spill_costs
+from repro.regalloc.igraph import AllocGraph, build_alloc_graph
+from repro.regalloc.spill import insert_spill_code
+from repro.target.machine import TargetMachine
+
+__all__ = [
+    "RoundContext",
+    "RoundOutcome",
+    "Allocator",
+    "AllocationStats",
+    "AllocationResult",
+    "allocate_function",
+]
+
+
+@dataclass(eq=False)
+class RoundContext:
+    """Everything an allocator may consult during one round."""
+
+    func: Function
+    machine: TargetMachine
+    cfg: CFG
+    loops: LoopInfo
+    liveness: Liveness
+    ig: InterferenceGraph
+    spill_costs: dict[VReg, float]
+    round_index: int
+
+    def graph(self, rclass: RegClass) -> AllocGraph:
+        """A fresh per-class coloring graph for this round."""
+        return build_alloc_graph(self.ig, self.machine, rclass,
+                                 self.spill_costs)
+
+    def classes(self) -> list[RegClass]:
+        """Register classes that actually occur in the function."""
+        present = {v.rclass for v in self.ig.vregs()}
+        return [rc for rc in (RegClass.INT, RegClass.FLOAT) if rc in present]
+
+
+@dataclass(eq=False)
+class RoundOutcome:
+    """What one allocator round decided."""
+
+    #: representative vreg -> color (per-class results merged)
+    assignment: dict[VReg, PReg] = field(default_factory=dict)
+    #: coalesce alias map: merged vreg -> survivor
+    alias: dict[VReg, Register] = field(default_factory=dict)
+    #: live ranges that must be spilled (empty means the round succeeded)
+    spilled: set[VReg] = field(default_factory=set)
+    coalesced_count: int = 0
+    biased_hits: int = 0
+
+    def resolve(self, reg: VReg) -> PReg:
+        """Final color of any vreg through the alias chain."""
+        node: Register = reg
+        seen = 0
+        while isinstance(node, VReg) and node in self.alias:
+            node = self.alias[node]
+            seen += 1
+            if seen > len(self.alias) + 1:
+                raise AllocationError("alias cycle")
+        if isinstance(node, PReg):
+            return node
+        try:
+            return self.assignment[node]
+        except KeyError:
+            raise AllocationError(f"no color for {reg} (rep {node})") from None
+
+
+class Allocator(abc.ABC):
+    """Interface implemented by each allocation algorithm."""
+
+    #: short name used in benchmark tables
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def allocate_round(self, ctx: RoundContext) -> RoundOutcome:
+        """Color the current function or nominate spills."""
+
+
+@dataclass(eq=False)
+class AllocationStats:
+    """Counters the evaluation figures are built from."""
+
+    allocator: str = ""
+    rounds: int = 0
+    #: move instructions present before allocation (static / weighted)
+    moves_before: int = 0
+    moves_before_weighted: float = 0.0
+    #: moves whose ends got one register — deleted at rewrite
+    moves_eliminated: int = 0
+    moves_eliminated_weighted: float = 0.0
+    #: spill instructions in the final code (static / weighted)
+    spill_loads: int = 0
+    spill_stores: int = 0
+    spill_weighted: float = 0.0
+    coalesced_count: int = 0
+    biased_hits: int = 0
+    spilled_webs: int = 0
+    #: non-volatile registers the final code touches (callee-save cost)
+    nonvolatile_used: dict[RegClass, int] = field(default_factory=dict)
+    #: per-register-class splits (the paper reports mpegaudio/mtrt float
+    #: results as separate "fp" rows)
+    moves_before_class: dict[RegClass, int] = field(default_factory=dict)
+    moves_eliminated_class: dict[RegClass, int] = field(default_factory=dict)
+    spills_class: dict[RegClass, int] = field(default_factory=dict)
+
+    def merge(self, other: "AllocationStats") -> None:
+        """Accumulate another function's stats (module aggregation)."""
+        self.rounds = max(self.rounds, other.rounds)
+        self.moves_before += other.moves_before
+        self.moves_before_weighted += other.moves_before_weighted
+        self.moves_eliminated += other.moves_eliminated
+        self.moves_eliminated_weighted += other.moves_eliminated_weighted
+        self.spill_loads += other.spill_loads
+        self.spill_stores += other.spill_stores
+        self.spill_weighted += other.spill_weighted
+        self.coalesced_count += other.coalesced_count
+        self.biased_hits += other.biased_hits
+        self.spilled_webs += other.spilled_webs
+        for table, src in (
+            (self.nonvolatile_used, other.nonvolatile_used),
+            (self.moves_before_class, other.moves_before_class),
+            (self.moves_eliminated_class, other.moves_eliminated_class),
+            (self.spills_class, other.spills_class),
+        ):
+            for key, value in src.items():
+                table[key] = table.get(key, 0) + value
+
+    @property
+    def spill_instructions(self) -> int:
+        return self.spill_loads + self.spill_stores
+
+    @property
+    def moves_remaining(self) -> int:
+        return self.moves_before - self.moves_eliminated
+
+
+@dataclass(eq=False)
+class AllocationResult:
+    """Final allocation of one function."""
+
+    func: Function
+    machine: TargetMachine
+    stats: AllocationStats
+    #: final vreg -> preg mapping for the last round's names
+    assignment: dict[VReg, PReg] = field(default_factory=dict)
+
+
+def allocate_function(
+    func: Function,
+    machine: TargetMachine,
+    allocator: Allocator,
+    max_rounds: int = 64,
+    rematerialize: bool = False,
+) -> AllocationResult:
+    """Run ``allocator`` on ``func`` to completion (in place).
+
+    ``rematerialize=True`` re-emits single-constant spilled live ranges
+    instead of storing/reloading them (Briggs-style rematerialization).
+    """
+    stats = AllocationStats(allocator=allocator.name)
+    loops_for_count = compute_loops(build_cfg(func))
+    stats.moves_before, stats.moves_before_weighted = _count_moves(
+        func, loops_for_count, stats
+    )
+
+    outcome: RoundOutcome | None = None
+    ctx: RoundContext | None = None
+    for round_index in range(max_rounds):
+        stats.rounds = round_index + 1
+        renumber(func)
+        cfg = build_cfg(func)
+        loops = compute_loops(cfg)
+        liveness = compute_liveness(func, cfg)
+        ig = build_interference(func, cfg, liveness)
+        spill_costs = compute_spill_costs(func, loops, cfg)
+        ctx = RoundContext(
+            func=func,
+            machine=machine,
+            cfg=cfg,
+            loops=loops,
+            liveness=liveness,
+            ig=ig,
+            spill_costs=spill_costs,
+            round_index=round_index,
+        )
+        outcome = allocator.allocate_round(ctx)
+        stats.coalesced_count += outcome.coalesced_count
+        stats.biased_hits += outcome.biased_hits
+        if not outcome.spilled:
+            break
+        stats.spilled_webs += len(outcome.spilled)
+        insert_spill_code(func, outcome.spilled,
+                          rematerialize=rematerialize)
+    else:
+        raise AllocationError(
+            f"{allocator.name}: no fixed point after {max_rounds} rounds"
+        )
+
+    assert outcome is not None and ctx is not None
+    assignment = _full_assignment(func, outcome)
+    _rewrite(func, assignment, ctx.loops, machine, stats)
+    return AllocationResult(
+        func=func, machine=machine, stats=stats, assignment=assignment
+    )
+
+
+def _count_moves(func: Function, loops: LoopInfo,
+                 stats: AllocationStats) -> tuple[int, float]:
+    static, weighted = 0, 0.0
+    for blk in func.blocks:
+        freq = loops.freq(blk.label)
+        for instr in blk.instrs:
+            if instr.is_move:
+                static += 1
+                weighted += freq
+                rclass = instr.defs()[0].rclass
+                stats.moves_before_class[rclass] = (
+                    stats.moves_before_class.get(rclass, 0) + 1
+                )
+    return static, weighted
+
+
+def _full_assignment(
+    func: Function, outcome: RoundOutcome
+) -> dict[VReg, PReg]:
+    assignment: dict[VReg, PReg] = {}
+    for v in func.vregs():
+        assignment[v] = outcome.resolve(v)
+    return assignment
+
+
+def _rewrite(
+    func: Function,
+    assignment: dict[VReg, PReg],
+    loops: LoopInfo,
+    machine: TargetMachine,
+    stats: AllocationStats,
+) -> None:
+    """Replace vregs with their colors; delete now-identity moves."""
+    used: dict[RegClass, set[PReg]] = {}
+    for blk in func.blocks:
+        freq = loops.freq(blk.label)
+        kept = []
+        for instr in blk.instrs:
+            mapping: dict = {
+                v: assignment[v]
+                for v in set(instr.used_regs()) | set(instr.defs())
+                if isinstance(v, VReg)
+            }
+            if mapping:
+                instr.replace(mapping)
+            if isinstance(instr, Move) and instr.dst == instr.src:
+                stats.moves_eliminated += 1
+                stats.moves_eliminated_weighted += freq
+                rclass = instr.dst.rclass
+                stats.moves_eliminated_class[rclass] = (
+                    stats.moves_eliminated_class.get(rclass, 0) + 1
+                )
+                continue
+            if isinstance(instr, (SpillLoad, SpillStore)):
+                if isinstance(instr, SpillLoad):
+                    stats.spill_loads += 1
+                    rclass = instr.dst.rclass
+                else:
+                    stats.spill_stores += 1
+                    rclass = instr.src.rclass
+                stats.spill_weighted += freq
+                stats.spills_class[rclass] = (
+                    stats.spills_class.get(rclass, 0) + 1
+                )
+            for reg in list(instr.defs()) + list(instr.used_regs()):
+                if isinstance(reg, PReg):
+                    used.setdefault(reg.rclass, set()).add(reg)
+            kept.append(instr)
+        blk.instrs = kept
+    for rclass, regs in used.items():
+        regfile = machine.file(rclass)
+        stats.nonvolatile_used[rclass] = sum(
+            1 for r in regs if not regfile.is_volatile(r)
+        )

@@ -1,0 +1,117 @@
+"""The select (color assignment) phase with biased coloring.
+
+Colors are assigned in stack-pop order.  The register choice is:
+
+1. any register forbidden by an already-colored neighbor is unavailable;
+2. *biased coloring* (Briggs [3]): if a copy-related node already has an
+   available color, take it — a deferred coalesce;
+3. otherwise the first register in the policy order.  The paper's
+   baseline policy (Section 6.2) "use non-volatile registers first, then
+   volatile registers" is the default; ``volatile_first`` and plain
+   ``index`` order are available for experiments.
+
+Optimistically pushed nodes may find no color; they are returned in
+``spilled`` and the driver inserts spill code and retries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.errors import AllocationError
+from repro.ir.values import PReg, Register, VReg
+from repro.regalloc.igraph import AllocGraph
+from repro.target.machine import RegisterFile
+
+__all__ = ["SelectResult", "select", "order_colors"]
+
+
+@dataclass(eq=False)
+class SelectResult:
+    assignment: dict[VReg, PReg] = field(default_factory=dict)
+    spilled: set[VReg] = field(default_factory=set)
+    #: how many nodes took a copy-related color (deferred coalesces)
+    biased_hits: int = 0
+
+
+def order_colors(colors: Sequence[PReg], regfile: RegisterFile,
+                 policy: str) -> list[PReg]:
+    """Order the color set according to a selection policy."""
+    by_index = sorted(colors, key=lambda r: r.index)
+    if policy == "index":
+        return by_index
+    if policy == "nonvolatile_first":
+        return (
+            [r for r in by_index if not regfile.is_volatile(r)]
+            + [r for r in by_index if regfile.is_volatile(r)]
+        )
+    if policy == "volatile_first":
+        return (
+            [r for r in by_index if regfile.is_volatile(r)]
+            + [r for r in by_index if not regfile.is_volatile(r)]
+        )
+    raise AllocationError(f"unknown color policy {policy!r}")
+
+
+def forbidden_colors(
+    graph: AllocGraph,
+    node: VReg,
+    assignment: dict[VReg, PReg],
+) -> set[PReg]:
+    """Colors taken by (representatives of) already-colored neighbors."""
+    out: set[PReg] = set()
+    for n in graph.all_neighbors(node):
+        rep = graph.find(n)
+        if isinstance(rep, PReg):
+            out.add(rep)
+        elif rep in assignment:
+            out.add(assignment[rep])
+    return out
+
+
+def select(
+    graph: AllocGraph,
+    order: Iterable[VReg],
+    regfile: RegisterFile,
+    policy: str = "nonvolatile_first",
+    optimistic_nodes: set[VReg] | None = None,
+    biased: bool = True,
+) -> SelectResult:
+    """Color ``order`` (pop order) over ``graph``."""
+    optimistic_nodes = optimistic_nodes or set()
+    result = SelectResult()
+    preference_order = order_colors(graph.colors, regfile, policy)
+
+    for node in order:
+        forbidden = forbidden_colors(graph, node, result.assignment)
+        available = [c for c in preference_order if c not in forbidden]
+        if not available:
+            if node not in optimistic_nodes:
+                raise AllocationError(
+                    f"non-optimistic node {node} found no color; "
+                    f"simplification invariant broken"
+                )
+            result.spilled.add(node)
+            continue
+        color = None
+        if biased:
+            for partner in sorted(graph.copy_related(node),
+                                  key=_partner_key):
+                partner_color = (
+                    partner if isinstance(partner, PReg)
+                    else result.assignment.get(partner)
+                )
+                if partner_color in available:
+                    color = partner_color
+                    result.biased_hits += 1
+                    break
+        if color is None:
+            color = available[0]
+        result.assignment[node] = color
+    return result
+
+
+def _partner_key(reg: Register) -> tuple:
+    return (0 if isinstance(reg, PReg) else 1,
+            getattr(reg, "index", getattr(reg, "id", 0)))

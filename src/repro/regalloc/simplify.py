@@ -1,0 +1,104 @@
+"""Graph simplification: Chaitin-style and Briggs optimistic.
+
+Simplification repeatedly removes a low-degree node (degree < K) and
+pushes it on the stack.  When only significant-degree nodes remain:
+
+* **Chaitin** removes the cheapest candidate *marking it spilled*; if the
+  phase ends with spill marks, the round aborts to spill-code insertion
+  (Figure 1(a): the ``select`` phase is only reached with a colorable
+  stack).
+* **Briggs optimistic** pushes the candidate anyway ("potential spill");
+  the select phase may still find it a color (Figure 1(b)).
+
+The spill candidate is chosen by minimum ``spill_cost / degree``, the
+standard Chaitin metric, with the cost supplied by the caller (the paper
+uses its Section 5.1 metric "for all algorithms").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AllocationError
+from repro.ir.values import VReg
+from repro.regalloc.igraph import AllocGraph
+
+__all__ = ["SimplifyResult", "simplify", "choose_spill_candidate"]
+
+
+@dataclass(eq=False)
+class SimplifyResult:
+    """Outcome of the simplify phase.
+
+    ``stack`` holds nodes in *push order*: ``stack[0]`` was removed first
+    and will be colored last.  ``optimistic`` flags the potential-spill
+    pushes (Briggs); ``spilled`` holds Chaitin-mode definite spill marks.
+    """
+
+    stack: list[VReg] = field(default_factory=list)
+    optimistic: set[VReg] = field(default_factory=set)
+    spilled: set[VReg] = field(default_factory=set)
+
+    @property
+    def select_order(self) -> list[VReg]:
+        """Nodes in coloring (pop) order."""
+        return list(reversed(self.stack))
+
+
+def choose_spill_candidate(graph: AllocGraph, nodes) -> VReg:
+    """Minimum cost/degree node among ``nodes``."""
+    best: VReg | None = None
+    best_metric = float("inf")
+    for node in nodes:
+        degree = max(graph.degree(node), 1)
+        metric = graph.spill_cost(node) / degree
+        if metric < best_metric or (
+            metric == best_metric
+            and best is not None
+            and _tie_break(node) < _tie_break(best)
+        ):
+            best = node
+            best_metric = metric
+    if best is None:
+        raise AllocationError("no spill candidate available")
+    if best_metric == float("inf"):
+        raise AllocationError(
+            "all remaining nodes are no-spill temporaries; "
+            "register pressure cannot be met"
+        )
+    return best
+
+
+def _tie_break(node: VReg) -> tuple:
+    return (node.id, node.name or "")
+
+
+def simplify(graph: AllocGraph, optimistic: bool = True) -> SimplifyResult:
+    """Run simplification over the active nodes of ``graph``.
+
+    ``graph`` is mutated: all active nodes are removed.  Copy-related
+    nodes are treated like any other (the aggressive-coalescing pipelines
+    have coalesced before this phase; George–Appel iterated coalescing
+    interleaves its own simplify loop and does not call this one).
+    """
+    result = SimplifyResult()
+    # Deterministic worklist: sort once, then maintain incrementally.
+    while graph.active:
+        low = [n for n in graph.active if not graph.significant(n)]
+        if low:
+            # Remove all currently-low-degree nodes in a deterministic
+            # order; removing one can only lower other degrees, so batch
+            # removal stays valid and is much faster than re-scanning.
+            for node in sorted(low, key=_tie_break):
+                if node in graph.active and not graph.significant(node):
+                    graph.remove(node)
+                    result.stack.append(node)
+            continue
+        candidate = choose_spill_candidate(graph, graph.active)
+        graph.remove(candidate)
+        if optimistic:
+            result.stack.append(candidate)
+            result.optimistic.add(candidate)
+        else:
+            result.spilled.add(candidate)
+    return result

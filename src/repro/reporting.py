@@ -1,0 +1,83 @@
+"""Table/series formatting for the benchmark harness.
+
+The figures in the paper are bar charts of ratios against a base
+algorithm; the harness prints them as aligned text tables with a
+geometric-mean summary row (the paper's "geo." column in Figure 10).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["geomean", "format_table", "format_ratio_table"]
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean, ignoring non-positive entries defensively."""
+    positives = [v for v in values if v > 0]
+    if not positives:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in positives) / len(positives))
+
+
+def format_table(
+    title: str,
+    rows: Sequence[str],
+    columns: Sequence[str],
+    cells: Mapping[tuple[str, str], float],
+    fmt: str = "{:.3f}",
+    add_geomean: bool = True,
+) -> str:
+    """Aligned text table; ``cells`` maps (row, column) -> value."""
+    col_width = max(12, max((len(c) for c in columns), default=12) + 2)
+    row_width = max(14, max((len(r) for r in rows), default=14) + 2)
+    lines = [title, "=" * len(title)]
+    header = " " * row_width + "".join(f"{c:>{col_width}}" for c in columns)
+    lines.append(header)
+    for row in rows:
+        cells_text = "".join(
+            f"{fmt.format(cells[(row, col)]):>{col_width}}"
+            if (row, col) in cells else f"{'-':>{col_width}}"
+            for col in columns
+        )
+        lines.append(f"{row:<{row_width}}" + cells_text)
+    if add_geomean and rows:
+        geo_cells = "".join(
+            f"{fmt.format(geomean([cells[(r, c)] for r in rows if (r, c) in cells])):>{col_width}}"
+            for c in columns
+        )
+        lines.append(f"{'geo. mean':<{row_width}}" + geo_cells)
+    return "\n".join(lines)
+
+
+def format_ratio_table(
+    title: str,
+    rows: Sequence[str],
+    columns: Sequence[str],
+    raw: Mapping[tuple[str, str], float],
+    base_column: str,
+    drop_base_column: bool = True,
+    fmt: str = "{:.3f}",
+) -> str:
+    """Normalize every column by ``base_column`` before formatting.
+
+    A zero base cell yields a ratio of 1.0 when the measured cell is also
+    zero (nothing to improve on) and is omitted otherwise.
+    """
+    ratio_cells: dict[tuple[str, str], float] = {}
+    shown = [c for c in columns if not (drop_base_column and c == base_column)]
+    for row in rows:
+        base = raw.get((row, base_column))
+        if base is None:
+            continue
+        for col in shown:
+            if (row, col) not in raw:
+                continue
+            value = raw[(row, col)]
+            if base == 0:
+                if value == 0:
+                    ratio_cells[(row, col)] = 1.0
+                continue
+            ratio_cells[(row, col)] = value / base
+    return format_table(title, rows, shown, ratio_cells, fmt=fmt)

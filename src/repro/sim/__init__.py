@@ -1,0 +1,25 @@
+"""Execution and cost simulation: interpreters + the cycle evaluator."""
+
+from repro.sim.cycles import CALL_OVERHEAD, CycleReport, estimate_cycles
+from repro.sim.interp import ExecutionResult, Interpreter, run_function
+from repro.sim.ops import (
+    CallRegistry,
+    Memory,
+    apply_binop,
+    apply_unop,
+    default_registry,
+)
+
+__all__ = [
+    "CycleReport",
+    "estimate_cycles",
+    "CALL_OVERHEAD",
+    "ExecutionResult",
+    "Interpreter",
+    "run_function",
+    "CallRegistry",
+    "Memory",
+    "apply_binop",
+    "apply_unop",
+    "default_registry",
+]

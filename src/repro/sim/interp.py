@@ -1,0 +1,213 @@
+"""IR interpreter, usable at every pipeline stage.
+
+The same interpreter runs:
+
+* builder/generator output (virtual registers, unlowered calls, phis),
+* SSA form (phis evaluated with parallel-copy semantics),
+* lowered code (physical argument/return registers),
+* fully allocated code (physical registers + spill slots).
+
+This is what makes end-to-end semantic-preservation testing possible:
+run the function before and after any set of passes with the same
+inputs/memory/call registry and compare results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    BinOp,
+    Branch,
+    Call,
+    ConstInst,
+    Jump,
+    Load,
+    Move,
+    Ret,
+    SpillLoad,
+    SpillStore,
+    Store,
+    UnaryOp,
+)
+from repro.ir.values import Const, RegClass, Register, Value
+from repro.sim.ops import CallRegistry, Memory, apply_binop, apply_unop, \
+    default_registry
+from repro.target.machine import TargetMachine
+
+__all__ = ["ExecutionResult", "Interpreter", "run_function"]
+
+DEFAULT_STEP_LIMIT = 1_000_000
+
+
+@dataclass(eq=False)
+class ExecutionResult:
+    """Return value plus dynamic execution counters."""
+
+    value: object
+    steps: int = 0
+    #: dynamic counts by instruction class name
+    counts: dict[str, int] = field(default_factory=dict)
+
+    def count(self, kind: str) -> int:
+        return self.counts.get(kind, 0)
+
+
+class Interpreter:
+    """Executes one function against a memory and call registry."""
+
+    def __init__(
+        self,
+        machine: TargetMachine | None = None,
+        memory: Memory | None = None,
+        registry: CallRegistry | None = None,
+        step_limit: int = DEFAULT_STEP_LIMIT,
+    ):
+        self.machine = machine
+        self.memory = memory if memory is not None else Memory()
+        self.registry = registry if registry is not None else default_registry()
+        self.step_limit = step_limit
+
+    # ------------------------------------------------------------------
+
+    def run(self, func: Function, args: list | None = None) -> ExecutionResult:
+        args = list(args or [])
+        env: dict[Register, object] = {}
+        self._bind_params(func, args, env)
+
+        blocks = func.block_map()
+        result = ExecutionResult(value=None)
+        label = func.entry.label
+        prev_label: str | None = None
+
+        while True:
+            blk = blocks.get(label)
+            if blk is None:
+                raise SimulationError(f"{func.name}: jump to unknown {label}")
+            # Parallel phi evaluation: read all incomings before writing.
+            phis = blk.phis()
+            if phis:
+                values = [
+                    self._value(p.incoming[prev_label], env)
+                    if prev_label in p.incoming
+                    else 0
+                    for p in phis
+                ]
+                for p, v in zip(phis, values):
+                    env[p.dst] = v
+                result.steps += len(phis)
+
+            jumped = False
+            for instr in blk.instrs[len(phis):]:
+                result.steps += 1
+                if result.steps > self.step_limit:
+                    raise SimulationError(
+                        f"{func.name}: step limit {self.step_limit} exceeded"
+                    )
+                kind = type(instr).__name__
+                result.counts[kind] = result.counts.get(kind, 0) + 1
+
+                if isinstance(instr, ConstInst):
+                    env[instr.dst] = instr.value
+                elif isinstance(instr, Move):
+                    env[instr.dst] = self._value(instr.src, env)
+                elif isinstance(instr, UnaryOp):
+                    env[instr.dst] = apply_unop(
+                        instr.op, self._value(instr.src, env)
+                    )
+                elif isinstance(instr, BinOp):
+                    env[instr.dst] = apply_binop(
+                        instr.op,
+                        self._value(instr.lhs, env),
+                        self._value(instr.rhs, env),
+                    )
+                elif isinstance(instr, Load):
+                    addr = self._value(instr.base, env) + instr.offset
+                    env[instr.dst] = self.memory.read(
+                        addr, byte=instr.width == "byte"
+                    )
+                elif isinstance(instr, Store):
+                    addr = self._value(instr.base, env) + instr.offset
+                    self.memory.write(addr, self._value(instr.src, env))
+                elif isinstance(instr, SpillLoad):
+                    env[instr.dst] = env.get(("slot", instr.slot), 0)
+                elif isinstance(instr, SpillStore):
+                    env[("slot", instr.slot)] = self._value(instr.src, env)
+                elif isinstance(instr, Call):
+                    self._call(instr, env)
+                elif isinstance(instr, Jump):
+                    prev_label, label = label, instr.target
+                    jumped = True
+                    break
+                elif isinstance(instr, Branch):
+                    cond = self._value(instr.cond, env)
+                    prev_label = label
+                    label = instr.iftrue if cond else instr.iffalse
+                    jumped = True
+                    break
+                elif isinstance(instr, Ret):
+                    result.value = self._ret_value(instr, env)
+                    return result
+                else:
+                    raise SimulationError(
+                        f"cannot execute {type(instr).__name__}"
+                    )
+            if not jumped:
+                raise SimulationError(
+                    f"{func.name}/{label}: fell off block without terminator"
+                )
+
+    # ------------------------------------------------------------------
+
+    def _bind_params(self, func: Function, args: list, env: dict) -> None:
+        for i, param in enumerate(func.params):
+            env[param] = args[i] if i < len(args) else 0
+        if self.machine is not None:
+            counters: dict[RegClass, int] = {}
+            for i, param in enumerate(func.params):
+                index = counters.get(param.rclass, 0)
+                counters[param.rclass] = index + 1
+                preg = self.machine.param_reg(index, param.rclass)
+                env[preg] = args[i] if i < len(args) else 0
+
+    def _value(self, value: Value, env: dict):
+        if isinstance(value, Const):
+            return value.value
+        if value not in env:
+            # Undefined register: defined as zero (e.g. SSA undef names).
+            return 0.0 if value.rclass is RegClass.FLOAT else 0
+        return env[value]
+
+    def _call(self, instr: Call, env: dict) -> None:
+        if instr.lowered:
+            call_args = [self._value(r, env) for r in instr.reg_uses]
+            result = self.registry.invoke(instr.callee, call_args)
+            for d in instr.reg_defs:
+                env[d] = result
+        else:
+            call_args = [self._value(a, env) for a in instr.args]
+            result = self.registry.invoke(instr.callee, call_args)
+            if instr.dst is not None:
+                env[instr.dst] = result
+
+    def _ret_value(self, instr: Ret, env: dict):
+        if instr.src is not None:
+            return self._value(instr.src, env)
+        if instr.reg_uses:
+            return self._value(instr.reg_uses[0], env)
+        return None
+
+
+def run_function(
+    func: Function,
+    args: list | None = None,
+    machine: TargetMachine | None = None,
+    memory: Memory | None = None,
+    registry: CallRegistry | None = None,
+    step_limit: int = DEFAULT_STEP_LIMIT,
+) -> ExecutionResult:
+    """One-shot convenience wrapper around :class:`Interpreter`."""
+    interp = Interpreter(machine, memory, registry, step_limit)
+    return interp.run(func, args)

@@ -1,0 +1,150 @@
+"""Deterministic operation semantics shared by both interpreter modes.
+
+All integer arithmetic is 64-bit two's complement; division by zero is
+defined (yields 0) so randomly generated programs cannot fault; memory
+reads of never-written addresses yield a deterministic hash of the
+address.  The point is not architectural fidelity but *exact agreement*
+between pre-allocation and post-allocation execution, which is what the
+semantic-preservation tests assert.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+__all__ = ["apply_binop", "apply_unop", "Memory", "CallRegistry",
+           "default_registry", "MASK64"]
+
+MASK64 = (1 << 64) - 1
+
+
+def _wrap(value: int) -> int:
+    """Wrap to signed 64-bit."""
+    value &= MASK64
+    if value >= 1 << 63:
+        value -= 1 << 64
+    return value
+
+
+def apply_binop(op: str, a, b):
+    """Evaluate a binary opcode on Python numbers."""
+    if op == "add":
+        return _wrap(a + b)
+    if op == "sub":
+        return _wrap(a - b)
+    if op == "mul":
+        return _wrap(a * b)
+    if op == "div":
+        if b == 0:
+            return 0
+        return _wrap(int(a / b))  # C-style truncating division
+    if op == "rem":
+        if b == 0:
+            return 0
+        return _wrap(a - int(a / b) * b)
+    if op == "and":
+        return _wrap(a & b)
+    if op == "or":
+        return _wrap(a | b)
+    if op == "xor":
+        return _wrap(a ^ b)
+    if op == "shl":
+        return _wrap(a << (b % 64))
+    if op == "shr":
+        return _wrap((a & MASK64) >> (b % 64))
+    if op == "fadd":
+        return float(a) + float(b)
+    if op == "fsub":
+        return float(a) - float(b)
+    if op == "fmul":
+        return float(a) * float(b)
+    if op == "fdiv":
+        return 0.0 if b == 0 else float(a) / float(b)
+    if op == "cmpeq":
+        return int(a == b)
+    if op == "cmpne":
+        return int(a != b)
+    if op == "cmplt":
+        return int(a < b)
+    if op == "cmple":
+        return int(a <= b)
+    if op == "cmpgt":
+        return int(a > b)
+    if op == "cmpge":
+        return int(a >= b)
+    raise SimulationError(f"unknown binary op {op!r}")
+
+
+def apply_unop(op: str, a):
+    """Evaluate a unary opcode."""
+    if op == "neg":
+        return _wrap(-a)
+    if op == "not":
+        return _wrap(~int(a))
+    if op == "zext8":
+        return int(a) & 0xFF
+    if op == "fneg":
+        return -float(a)
+    if op == "itof":
+        return float(a)
+    if op == "ftoi":
+        return _wrap(int(a))
+    raise SimulationError(f"unknown unary op {op!r}")
+
+
+class Memory:
+    """Sparse memory with deterministic contents for unwritten cells."""
+
+    def __init__(self):
+        self._cells: dict[int, int] = {}
+
+    def read(self, addr: int, byte: bool = False) -> int:
+        addr = int(addr)
+        if addr in self._cells:
+            value = self._cells[addr]
+        else:
+            # Deterministic pseudo-content: a cheap integer mix, bounded
+            # so arithmetic over loaded values stays well-behaved.
+            value = (addr * 2654435761) & 0xFFFF
+        return value & 0xFF if byte else value
+
+    def write(self, addr: int, value: int) -> None:
+        self._cells[int(addr)] = _wrap(int(value))
+
+
+class CallRegistry:
+    """Callee name -> pure Python function used by both interpreters."""
+
+    def __init__(self):
+        self._funcs: dict[str, object] = {}
+
+    def register(self, name: str, func) -> None:
+        self._funcs[name] = func
+
+    def invoke(self, name: str, args: list):
+        if name not in self._funcs:
+            raise SimulationError(f"call to unregistered function {name!r}")
+        return self._funcs[name](*args)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._funcs
+
+
+def default_registry() -> CallRegistry:
+    """Registry with the callee names the workload generator emits."""
+    registry = CallRegistry()
+
+    def mix(*args):
+        acc = 0x9E3779B9
+        for a in args:
+            acc = _wrap(acc * 31 + int(a))
+        return _wrap(acc & 0xFFFF)
+
+    def fsum(*args):
+        return float(sum(float(a) for a in args))
+
+    registry.register("helper", mix)
+    for i in range(8):
+        registry.register(f"ext{i}", mix)
+    registry.register("fhelper", fsum)
+    return registry

@@ -1,0 +1,7 @@
+"""SSA construction and destruction."""
+
+from repro.ssa.construct import to_ssa
+from repro.ssa.dce import eliminate_dead_code
+from repro.ssa.destruct import from_ssa, split_critical_edges
+
+__all__ = ["to_ssa", "from_ssa", "split_critical_edges", "eliminate_dead_code"]

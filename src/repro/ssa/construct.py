@@ -1,0 +1,144 @@
+"""SSA construction: pruned phi insertion + dominator-tree renaming.
+
+Follows Cytron et al. [5] with the usual pruning refinement: a phi for
+variable ``v`` is only placed at a dominance-frontier block where ``v`` is
+live-in, which avoids dead phis (and the undefined-operand headaches they
+bring).  Renaming walks the dominator tree iteratively.
+
+The input is the generator's (or builder's) multiple-assignment IR; the
+output is strict SSA over fresh virtual registers, validated by
+``validate_function(..., ssa=True)``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.analysis.liveness import compute_liveness
+from repro.cfg.analysis import build_cfg, remove_unreachable_blocks
+from repro.cfg.dominance import compute_dominance
+from repro.ir.function import Function
+from repro.ir.instructions import Phi
+from repro.ir.values import Value, VReg
+
+__all__ = ["to_ssa"]
+
+
+def to_ssa(func: Function) -> Function:
+    """Convert ``func`` to pruned SSA in place (also returns it)."""
+    remove_unreachable_blocks(func)
+    cfg = build_cfg(func)
+    dom = compute_dominance(cfg)
+    liveness = compute_liveness(func, cfg)
+    blocks = func.block_map()
+
+    # --- phi insertion at iterated dominance frontiers -----------------
+    def_blocks: dict[VReg, set[str]] = defaultdict(set)
+    for blk in func.blocks:
+        for instr in blk.instrs:
+            for d in instr.defs():
+                if isinstance(d, VReg):
+                    def_blocks[d].add(blk.label)
+    for param in func.params:
+        def_blocks[param].add(func.entry.label)
+
+    phi_vars: dict[str, list[VReg]] = defaultdict(list)
+    for var, sites in def_blocks.items():
+        worklist = list(sites)
+        placed: set[str] = set()
+        while worklist:
+            site = worklist.pop()
+            for front in dom.frontier.get(site, ()):
+                if front in placed:
+                    continue
+                if var not in liveness.live_in[front]:
+                    continue  # pruned SSA: dead here
+                placed.add(front)
+                phi_vars[front].append(var)
+                if front not in sites:
+                    worklist.append(front)
+
+    for label, variables in phi_vars.items():
+        blk = blocks[label]
+        for var in variables:
+            # Placeholder phi over the original name; renaming fixes arms.
+            arms: dict[str, Value] = {p: var for p in cfg.preds[label]}
+            blk.instrs.insert(0, Phi(var, arms))
+
+    # --- renaming along the dominator tree -----------------------------
+    stacks: dict[VReg, list[VReg]] = defaultdict(list)
+    new_params: list[VReg] = []
+    for param in func.params:
+        fresh = func.new_vreg(param.rclass, name=_versioned(param, 0))
+        stacks[param].append(fresh)
+        new_params.append(fresh)
+    versions: dict[VReg, int] = {p: 1 for p in func.params}
+
+    undef_names: dict[VReg, VReg] = {}
+
+    def fresh_def(var: VReg) -> VReg:
+        n = versions.get(var, 0)
+        versions[var] = n + 1
+        reg = func.new_vreg(var.rclass, name=_versioned(var, n))
+        stacks[var].append(reg)
+        return reg
+
+    def current(var: VReg) -> VReg:
+        if not stacks[var]:
+            # Use of a never-defined variable on this path: a single shared
+            # "undef" name per variable (the interpreters read it as zero).
+            # It must NOT be pushed, or sibling dom subtrees would see it.
+            if var not in undef_names:
+                undef_names[var] = func.new_vreg(
+                    var.rclass, name=_versioned(var, "undef")
+                )
+            return undef_names[var]
+        return stacks[var][-1]
+
+    # Iterative preorder walk with explicit "pop" events so stack discipline
+    # matches the recursive formulation.
+    actions: list[tuple[str, str]] = [("visit", dom.entry)]
+    pushed_log: dict[str, list[VReg]] = {}
+    while actions:
+        kind, label = actions.pop()
+        if kind == "pop":
+            for var in reversed(pushed_log[label]):
+                stacks[var].pop()
+            continue
+        blk = blocks[label]
+        pushed: list[VReg] = []
+        for instr in blk.instrs:
+            if isinstance(instr, Phi):
+                old = instr.dst
+                assert isinstance(old, VReg)
+                instr.dst = fresh_def(old)
+                pushed.append(old)
+                continue
+            mapping: dict[Value, Value] = {}
+            for u in instr.uses():
+                if isinstance(u, VReg):
+                    mapping[u] = current(u)
+            olds = [d for d in instr.defs() if isinstance(d, VReg)]
+            instr.replace_uses(mapping)
+            for old in olds:
+                new = fresh_def(old)
+                instr.replace_defs({old: new})
+                pushed.append(old)
+        # Fill phi arms of successors.
+        for succ in cfg.succs[label]:
+            for phi in blocks[succ].phis():
+                arm = phi.incoming.get(label)
+                if isinstance(arm, VReg) and arm in def_blocks:
+                    phi.incoming[label] = current(arm)
+        pushed_log[label] = pushed
+        actions.append(("pop", label))
+        for child in reversed(dom.children.get(label, [])):
+            actions.append(("visit", child))
+
+    func.params = new_params
+    return func
+
+
+def _versioned(var: VReg, n: int | str) -> str:
+    base = var.name or f"{var.rclass.prefix()}{var.id}"
+    return f"{base}.{n}"

@@ -1,0 +1,21 @@
+"""Synthetic SPECjvm98-like workloads."""
+
+from repro.workloads.figures import figure7_function
+from repro.workloads.generator import generate_function, generate_module
+from repro.workloads.profiles import (
+    BENCHMARK_NAMES,
+    SPEC_PROFILES,
+    BenchmarkProfile,
+)
+from repro.workloads.suite import make_benchmark, make_suite
+
+__all__ = [
+    "figure7_function",
+    "generate_function",
+    "generate_module",
+    "BenchmarkProfile",
+    "SPEC_PROFILES",
+    "BENCHMARK_NAMES",
+    "make_benchmark",
+    "make_suite",
+]

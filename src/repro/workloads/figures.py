@@ -1,0 +1,45 @@
+"""IR transcriptions of the paper's in-text programs."""
+
+from __future__ import annotations
+
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function
+from repro.ir.values import Const
+
+__all__ = ["figure7_function"]
+
+
+def figure7_function() -> Function:
+    """The program of Figure 7(a), instruction for instruction.
+
+    ::
+
+        i0: v0 = [arg0]
+        i1: L1: v1 = [v0]
+        i2:     v2 = [v0+4]
+        i3:     v3 = v0
+        i4:     v4 = v1 + v2
+        i5:     arg0 = v3
+        i6:     call
+        i7:     v0 = v4 + 1
+        i8:     if v0 != 0 goto L1
+        i9:     ret
+
+    ``arg0`` is parameter 0; the lowering pass materializes the
+    ``arg0 = v3`` copy (i5) when it lowers the call.
+    """
+    b = IRBuilder("figure7", n_params=1)
+    v0 = b.load(b.param(0), 0)               # i0
+    b.jump("L1")
+    b.block("L1")
+    v1 = b.load(v0, 0)                       # i1
+    v2 = b.load(v0, 4)                       # i2
+    v3 = b.move(v0)                          # i3
+    v4 = b.add(v1, v2)                       # i4
+    b.call("helper", [v3])                   # i5 + i6
+    b.binop("add", v4, Const(1), dst=v0)     # i7
+    cond = b.binop("cmpne", v0, Const(0))    # i8
+    b.branch(cond, "L1", "exit")
+    b.block("exit")
+    b.ret()                                  # i9
+    return b.finish()

@@ -1,0 +1,285 @@
+"""Deterministic synthetic program generator.
+
+Produces multi-assignment (pre-SSA) IR whose structural features follow a
+:class:`~repro.workloads.profiles.BenchmarkProfile`.  Guarantees:
+
+* **determinism** — everything derives from ``random.Random(seed)``;
+* **termination** — all back edges belong to counted loops with constant
+  trip counts, so the interpreters always halt;
+* **defined behavior** — division is total, loads read the deterministic
+  memory, every callee exists in the default call registry;
+* **pressure** — a pool of live variables is repeatedly read and
+  overwritten, keeping ``int_pool``/``float_pool`` values simultaneously
+  live across loops and calls.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function, Module
+from repro.ir.values import Const, RegClass, VReg
+from repro.workloads.profiles import BenchmarkProfile
+
+__all__ = ["generate_function", "generate_module"]
+
+INT_OPS = ("add", "sub", "mul", "and", "or", "xor", "add", "sub")
+FLOAT_OPS = ("fadd", "fsub", "fmul", "fadd")
+CMP_OPS = ("cmplt", "cmple", "cmpeq", "cmpne", "cmpgt", "cmpge")
+CALLEES_INT = ("helper", "ext0", "ext1", "ext2", "ext3",
+               "ext4", "ext5", "ext6", "ext7")
+
+
+class _FunctionGenerator:
+    def __init__(self, name: str, profile: BenchmarkProfile,
+                 rng: random.Random):
+        self.profile = profile
+        self.rng = rng
+        n_params = rng.randint(profile.min_params, profile.max_params)
+        self.b = IRBuilder(name, n_params=n_params)
+        self.labels = 0
+        self.int_pool: list[VReg] = []
+        self.float_pool: list[VReg] = []
+        self.loop_depth = 0
+
+    # ------------------------------------------------------------------
+
+    def generate(self) -> Function:
+        self._init_pools()
+        self._body(self.profile.stmts)
+        self._epilogue()
+        return self.b.finish()
+
+    def _label(self, stem: str) -> str:
+        self.labels += 1
+        return f"{stem}{self.labels}"
+
+    # ------------------------------------------------------------------
+
+    def _init_pools(self) -> None:
+        rng, b, profile = self.rng, self.b, self.profile
+        base = b.param(0)
+        for i in range(profile.int_pool):
+            choice = rng.random()
+            if choice < 0.3 and b.func.params:
+                var = b.move(rng.choice(b.func.params))
+            elif choice < 0.6:
+                var = b.load(base, offset=4 * i)
+            else:
+                var = b.const(rng.randint(1, 64))
+            self.int_pool.append(var)
+        for i in range(profile.float_pool):
+            if rng.random() < 0.5:
+                var = b.load(base, offset=4 * (profile.int_pool + i),
+                             rclass=RegClass.FLOAT)
+            else:
+                var = b.const(float(rng.randint(1, 32)), RegClass.FLOAT)
+            self.float_pool.append(var)
+
+    def _epilogue(self) -> None:
+        # Fold the whole pool into the return value: every pool variable
+        # stays live to the function exit, which is what keeps register
+        # pressure at the profile's pool size rather than collapsing to
+        # whatever the last few statements touched.
+        acc = self.int_pool[0]
+        for var in self.int_pool[1:]:
+            acc = self.b.add(acc, var)
+        if self.float_pool:
+            facc = self.float_pool[0]
+            for var in self.float_pool[1:]:
+                facc = self.b.binop("fadd", facc, var)
+            as_int = self.b.unary("ftoi", facc, rclass=RegClass.INT)
+            acc = self.b.add(acc, as_int)
+        self.b.ret(acc)
+
+    # ------------------------------------------------------------------
+
+    def _body(self, budget: int) -> None:
+        rng, profile = self.rng, self.profile
+        while budget > 0:
+            roll = rng.random()
+            if roll < profile.loop_prob and budget >= 4 \
+                    and self.loop_depth < profile.max_loop_depth:
+                inner = min(budget - 2, rng.randint(3, 8))
+                self._loop(inner)
+                budget -= inner + 2
+            elif roll < profile.loop_prob + profile.branch_prob \
+                    and budget >= 4:
+                inner = min(budget - 2, rng.randint(2, 6))
+                self._diamond(inner)
+                budget -= inner + 2
+            else:
+                self._statement()
+                budget -= 1
+
+    def _loop(self, inner_budget: int) -> None:
+        b, rng = self.b, self.rng
+        counter = b.const(0)
+        trips = rng.randint(2, 4)
+        head = self._label("loop")
+        exit_label = self._label("done")
+        b.jump(head)
+        b.block(head)
+        self.loop_depth += 1
+        self._body(inner_budget)
+        self.loop_depth -= 1
+        b.binop("add", counter, Const(1), dst=counter)
+        cond = b.binop("cmplt", counter, Const(trips))
+        b.branch(cond, head, exit_label)
+        b.block(exit_label)
+
+    def _diamond(self, inner_budget: int) -> None:
+        b, rng = self.b, self.rng
+        lhs, rhs = self._pick_int(), self._pick_int()
+        cond = b.binop(rng.choice(CMP_OPS), lhs, rhs)
+        then_label = self._label("then")
+        else_label = self._label("else")
+        merge_label = self._label("merge")
+        b.branch(cond, then_label, else_label)
+        then_budget = max(1, inner_budget // 2)
+        b.block(then_label)
+        self._body(then_budget)
+        # Redefine a pool variable so the merge needs a phi.
+        victim = self._victim_int()
+        b.binop("add", victim, Const(rng.randint(1, 9)), dst=victim)
+        b.jump(merge_label)
+        b.block(else_label)
+        self._body(max(1, inner_budget - then_budget))
+        b.binop("xor", victim, Const(rng.randint(1, 9)), dst=victim)
+        b.jump(merge_label)
+        b.block(merge_label)
+
+    # ------------------------------------------------------------------
+
+    def _statement(self) -> None:
+        rng, profile = self.rng, self.profile
+        roll = rng.random()
+        if roll < profile.call_prob:
+            self._call()
+        elif roll < profile.call_prob + profile.load_prob:
+            self._load()
+        elif roll < profile.call_prob + profile.load_prob \
+                + profile.store_prob:
+            self._store()
+        elif roll < profile.call_prob + profile.load_prob \
+                + profile.store_prob + profile.copy_prob:
+            self._copy()
+        else:
+            self._arith()
+
+    def _pick_int(self) -> VReg:
+        return self.rng.choice(self.int_pool)
+
+    def _pick_float(self) -> VReg:
+        return self.rng.choice(self.float_pool)
+
+    def _victim_int(self) -> VReg:
+        return self.rng.choice(self.int_pool)
+
+    def _use_float(self) -> bool:
+        pool = self.profile.float_pool
+        total = pool + self.profile.int_pool
+        return bool(pool) and self.rng.random() < pool / total
+
+    def _arith(self) -> None:
+        b, rng = self.b, self.rng
+        if self._use_float():
+            op = rng.choice(FLOAT_OPS)
+            dst = self._pick_float()
+            b.binop(op, self._pick_float(), self._pick_float(), dst=dst)
+        else:
+            op = rng.choice(INT_OPS)
+            dst = self._victim_int()
+            rhs = (Const(rng.randint(1, 16)) if rng.random() < 0.3
+                   else self._pick_int())
+            b.binop(op, self._pick_int(), rhs, dst=dst)
+
+    def _copy(self) -> None:
+        b = self.b
+        if self._use_float():
+            b.move(self._pick_float(), dst=self._pick_float())
+        else:
+            b.move(self._pick_int(), dst=self._victim_int())
+
+    def _addr_base(self) -> VReg:
+        # Bases come from parameters so address values stay small and
+        # deterministic under interpretation.
+        return self.b.param(self.rng.randrange(len(self.b.func.params)))
+
+    def _load(self) -> None:
+        b, rng, profile = self.b, self.rng, self.profile
+        base = self._addr_base()
+        offset = 4 * rng.randint(0, 63)
+        if self._use_float():
+            if rng.random() < profile.paired_prob:
+                d1, d2 = self._pick_float(), self._pick_float()
+                if d1 is d2:
+                    d2 = rng.choice(
+                        [v for v in self.float_pool if v is not d1] or [d1]
+                    )
+                if d1 is not d2:
+                    b.load(base, offset, dst=d1, rclass=RegClass.FLOAT)
+                    b.load(base, offset + 4, dst=d2, rclass=RegClass.FLOAT)
+                    return
+            b.load(base, offset, dst=self._pick_float(),
+                   rclass=RegClass.FLOAT)
+            return
+        if rng.random() < profile.byte_prob:
+            b.load(base, offset, width="byte", dst=self._victim_int())
+            return
+        if rng.random() < profile.paired_prob:
+            d1, d2 = rng.sample(self.int_pool, 2) \
+                if len(self.int_pool) >= 2 else (self._victim_int(), None)
+            if d2 is not None:
+                b.load(base, offset, dst=d1)
+                b.load(base, offset + 4, dst=d2)
+                return
+        b.load(base, offset, dst=self._victim_int())
+
+    def _store(self) -> None:
+        b, rng = self.b, self.rng
+        base = self._addr_base()
+        offset = 4 * rng.randint(64, 127)  # stores land clear of loads
+        src = self._pick_float() if self._use_float() else self._pick_int()
+        b.store(base, offset, src)
+
+    def _call(self) -> None:
+        b, rng = self.b, self.rng
+        if self._use_float():
+            n_args = rng.randint(
+                1, min(self.profile.max_call_args, len(self.float_pool))
+            )
+            args = [self._pick_float() for _ in range(n_args)]
+            dst = self._pick_float()
+            result = b.call("fhelper", args, returns=True,
+                            rclass=RegClass.FLOAT)
+            b.move(result, dst=dst)
+            return
+        n_args = rng.randint(1, self.profile.max_call_args)
+        args = [self._pick_int() for _ in range(n_args)]
+        dst = self._victim_int()
+        result = b.call(rng.choice(CALLEES_INT), args, returns=True)
+        b.move(result, dst=dst)
+
+
+def generate_function(name: str, profile: BenchmarkProfile,
+                      seed: int) -> Function:
+    """One deterministic function for ``profile``."""
+    rng = random.Random(seed)
+    return _FunctionGenerator(name, profile, rng).generate()
+
+
+def generate_module(profile: BenchmarkProfile, seed: int = 0) -> Module:
+    """A deterministic module of ``profile.n_functions`` functions."""
+    # zlib.crc32, unlike hash(), is stable across interpreter runs.
+    rng = random.Random((zlib.crc32(profile.name.encode()) ^ seed)
+                        & 0xFFFFFFFF)
+    module = Module(profile.name)
+    for i in range(profile.n_functions):
+        func_seed = rng.randrange(1 << 30)
+        module.add(
+            generate_function(f"{profile.name}_f{i}", profile, func_seed)
+        )
+    return module

@@ -1,0 +1,29 @@
+"""The benchmark suite: one generated module per SPECjvm98-like test."""
+
+from __future__ import annotations
+
+from repro.ir.function import Module
+from repro.workloads.generator import generate_module
+from repro.workloads.profiles import BENCHMARK_NAMES, SPEC_PROFILES
+
+__all__ = ["make_benchmark", "make_suite"]
+
+
+def make_benchmark(name: str, seed: int = 0) -> Module:
+    """The deterministic module for one named benchmark."""
+    try:
+        profile = SPEC_PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; choose from {BENCHMARK_NAMES}"
+        ) from None
+    return generate_module(profile, seed)
+
+
+def make_suite(names: list[str] | None = None,
+               seed: int = 0) -> dict[str, Module]:
+    """All (or the named subset of) benchmark modules."""
+    return {
+        name: make_benchmark(name, seed)
+        for name in (names or BENCHMARK_NAMES)
+    }

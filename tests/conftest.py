@@ -1,0 +1,98 @@
+"""Shared fixtures and IR-building helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function
+from repro.ir.values import Const
+from repro.target.presets import high_pressure, low_pressure, middle_pressure
+
+
+@pytest.fixture
+def machine16():
+    return high_pressure()
+
+
+@pytest.fixture
+def machine24():
+    return middle_pressure()
+
+
+@pytest.fixture
+def machine32():
+    return low_pressure()
+
+
+def build_straightline() -> Function:
+    """p0 + p1 through a couple of temps; no control flow."""
+    b = IRBuilder("straight", n_params=2)
+    t1 = b.add(b.param(0), b.param(1))
+    t2 = b.add(t1, Const(10))
+    t3 = b.move(t2)
+    b.ret(t3)
+    return b.finish()
+
+
+def build_diamond() -> Function:
+    """if (p0 < p1) x = p0+1 else x = p1+2; return x."""
+    b = IRBuilder("diamond", n_params=2)
+    x = b.const(0)
+    cond = b.binop("cmplt", b.param(0), b.param(1))
+    b.branch(cond, "then", "else_")
+    b.block("then")
+    b.add(b.param(0), Const(1), dst=x)
+    b.jump("merge")
+    b.block("else_")
+    b.add(b.param(1), Const(2), dst=x)
+    b.jump("merge")
+    b.block("merge")
+    b.ret(x)
+    return b.finish()
+
+
+def build_counted_loop(trips: int = 3) -> Function:
+    """sum += p0 for a constant trip count; returns the sum."""
+    b = IRBuilder("loop", n_params=1)
+    i = b.const(0)
+    acc = b.const(0)
+    b.jump("head")
+    b.block("head")
+    b.add(acc, b.param(0), dst=acc)
+    b.binop("add", i, Const(1), dst=i)
+    cond = b.binop("cmplt", i, Const(trips))
+    b.branch(cond, "head", "exit")
+    b.block("exit")
+    b.ret(acc)
+    return b.finish()
+
+
+def build_call_heavy() -> Function:
+    """Two calls with a value live across both."""
+    b = IRBuilder("callheavy", n_params=2)
+    keep = b.add(b.param(0), b.param(1))
+    r1 = b.call("helper", [b.param(0)], returns=True)
+    r2 = b.call("helper", [r1], returns=True)
+    total = b.add(keep, r2)
+    b.ret(total)
+    return b.finish()
+
+
+def build_paired_loads() -> Function:
+    """Two fusible loads plus an unrelated one."""
+    b = IRBuilder("paired", n_params=1)
+    lo = b.load(b.param(0), 0)
+    hi = b.load(b.param(0), 4)
+    other = b.load(b.param(0), 64)
+    s = b.add(lo, hi)
+    s2 = b.add(s, other)
+    b.ret(s2)
+    return b.finish()
+
+
+def build_figure7() -> Function:
+    """The paper's Figure 7(a) program (shared library transcription)."""
+    from repro.workloads.figures import figure7_function
+
+    return figure7_function()

@@ -1,0 +1,150 @@
+"""CFG snapshots: edges, orders, reachability, dominance, loops."""
+
+import pytest
+
+from repro.cfg.analysis import build_cfg, remove_unreachable_blocks
+from repro.cfg.dominance import compute_dominance
+from repro.cfg.loops import LOOP_FREQ_FACTOR, compute_loops
+from repro.errors import AnalysisError
+from repro.ir.builder import IRBuilder
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import Branch, Jump, Ret
+from repro.ir.values import Const, VReg
+
+from conftest import build_counted_loop, build_diamond
+
+
+def build_nested_loop():
+    b = IRBuilder("nested", n_params=1)
+    b.jump("outer")
+    b.block("outer")
+    b.jump("inner")
+    b.block("inner")
+    c1 = b.binop("cmplt", b.param(0), Const(1))
+    b.branch(c1, "inner", "outer_latch")
+    b.block("outer_latch")
+    c2 = b.binop("cmplt", b.param(0), Const(2))
+    b.branch(c2, "outer", "exit")
+    b.block("exit")
+    b.ret()
+    return b.finish()
+
+
+class TestCFG:
+    def test_diamond_edges(self):
+        cfg = build_cfg(build_diamond())
+        assert set(cfg.succs["entry"]) == {"then", "else_"}
+        assert set(cfg.preds["merge"]) == {"then", "else_"}
+        assert cfg.preds["entry"] == ()
+
+    def test_rpo_starts_at_entry_ends_at_exit(self):
+        cfg = build_cfg(build_diamond())
+        rpo = cfg.reverse_postorder()
+        assert rpo[0] == "entry"
+        assert rpo[-1] == "merge"
+        assert set(rpo) == {"entry", "then", "else_", "merge"}
+
+    def test_postorder_is_reverse(self):
+        cfg = build_cfg(build_diamond())
+        assert cfg.postorder() == list(reversed(cfg.reverse_postorder()))
+
+    def test_missing_terminator_raises(self):
+        func = Function("f", blocks=[BasicBlock("entry", [])])
+        with pytest.raises(AnalysisError):
+            build_cfg(func)
+
+    def test_unreachable_removal(self):
+        func = Function("f", blocks=[
+            BasicBlock("entry", [Ret()]),
+            BasicBlock("orphan", [Jump("entry")]),
+        ])
+        assert remove_unreachable_blocks(func) == 1
+        assert [blk.label for blk in func.blocks] == ["entry"]
+
+    def test_unreachable_removal_fixes_phis(self):
+        from repro.ir.instructions import Phi
+
+        func = Function("f", blocks=[
+            BasicBlock("entry", [Jump("m")]),
+            BasicBlock("orphan", [Jump("m")]),
+            BasicBlock("m", [
+                Phi(VReg(0), {"entry": VReg(1), "orphan": VReg(2)}), Ret()
+            ]),
+        ])
+        remove_unreachable_blocks(func)
+        (phi,) = func.block("m").phis()
+        assert set(phi.incoming) == {"entry"}
+
+
+class TestDominance:
+    def test_diamond(self):
+        cfg = build_cfg(build_diamond())
+        dom = compute_dominance(cfg)
+        assert dom.idom["then"] == "entry"
+        assert dom.idom["else_"] == "entry"
+        assert dom.idom["merge"] == "entry"
+        assert dom.frontier["then"] == {"merge"}
+        assert dom.frontier["else_"] == {"merge"}
+
+    def test_dominates_reflexive_and_entry(self):
+        cfg = build_cfg(build_diamond())
+        dom = compute_dominance(cfg)
+        assert dom.dominates("entry", "merge")
+        assert dom.dominates("then", "then")
+        assert not dom.dominates("then", "merge")
+
+    def test_loop_header_frontier_contains_itself(self):
+        cfg = build_cfg(build_counted_loop())
+        dom = compute_dominance(cfg)
+        assert "head" in dom.frontier["head"]
+
+    def test_dom_tree_preorder_visits_all(self):
+        cfg = build_cfg(build_diamond())
+        dom = compute_dominance(cfg)
+        order = dom.dom_tree_preorder()
+        assert order[0] == "entry"
+        assert set(order) == {"entry", "then", "else_", "merge"}
+
+
+class TestLoops:
+    def test_single_loop(self):
+        cfg = build_cfg(build_counted_loop())
+        loops = compute_loops(cfg)
+        assert len(loops.loops) == 1
+        assert loops.loops[0].header == "head"
+        assert loops.depth["head"] == 1
+        assert loops.depth["entry"] == 0
+        assert loops.depth["exit"] == 0
+
+    def test_freq_factors(self):
+        cfg = build_cfg(build_counted_loop())
+        loops = compute_loops(cfg)
+        assert loops.freq("entry") == 1
+        assert loops.freq("head") == LOOP_FREQ_FACTOR
+
+    def test_nested_depth(self):
+        cfg = build_cfg(build_nested_loop())
+        loops = compute_loops(cfg)
+        assert loops.depth["inner"] == 2
+        assert loops.depth["outer"] == 1
+        assert loops.freq("inner") == LOOP_FREQ_FACTOR ** 2
+
+    def test_loop_of_innermost(self):
+        cfg = build_cfg(build_nested_loop())
+        loops = compute_loops(cfg)
+        inner = loops.loop_of("inner")
+        assert inner is not None and inner.header == "inner"
+        assert inner.parent is not None and inner.parent.header == "outer"
+
+    def test_irreducible_edge_detected(self):
+        # entry branches into the middle of a cycle a <-> b.
+        func = Function("f", blocks=[
+            BasicBlock("entry", [Branch(VReg(0), "a", "b")]),
+            BasicBlock("a", [Jump("b")]),
+            BasicBlock("b", [Branch(VReg(0), "a", "exit")]),
+            BasicBlock("exit", [Ret()]),
+        ])
+        cfg = build_cfg(func)
+        loops = compute_loops(cfg)
+        assert loops.irreducible_edges
+        assert not loops.loops

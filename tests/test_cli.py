@@ -1,0 +1,102 @@
+"""The command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import ALLOCATOR_CHOICES, build_parser, main
+
+
+@pytest.fixture
+def sample_ir(tmp_path):
+    path = tmp_path / "sample.ir"
+    path.write_text("""func axpy(%p0, %p1) -> value {
+entry:
+  %acc = 0
+  jump loop
+loop:
+  %x = load [%p0+0]
+  %y = load [%p0+4]
+  %s = add %x, %y
+  %acc = add %acc, %s
+  %c = cmplt %acc, %p1
+  branch %c, done, loop
+done:
+  ret %acc
+}
+""")
+    return str(path)
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "quake"])
+
+    def test_allocator_choices_complete(self):
+        assert set(ALLOCATOR_CHOICES) == {
+            "chaitin", "briggs", "iterated", "optimistic", "callcost",
+            "priority", "only-coalescing", "full",
+        }
+
+
+class TestAlloc:
+    def test_alloc_prints_physical_code(self, sample_ir):
+        code, text = run_cli(["alloc", sample_ir, "--regs", "8"])
+        assert code == 0
+        assert "$r" in text
+        assert "%x" not in text.split(";")[0]  # no vregs in the code
+        assert "moves eliminated" in text
+        assert "estimated cycles" in text
+
+    @pytest.mark.parametrize("allocator", sorted(ALLOCATOR_CHOICES))
+    def test_every_allocator_selectable(self, sample_ir, allocator):
+        code, text = run_cli(
+            ["alloc", sample_ir, "--allocator", allocator, "--regs", "8"]
+        )
+        assert code == 0 and "estimated cycles" in text
+
+
+class TestCompare:
+    def test_table_has_all_allocators(self, sample_ir):
+        code, text = run_cli(["compare", sample_ir, "--regs", "8"])
+        assert code == 0
+        for name in ALLOCATOR_CHOICES:
+            assert name in text
+
+
+class TestBench:
+    def test_bench_runs(self):
+        code, text = run_cli(["bench", "jack", "--regs", "16"])
+        assert code == 0
+        assert "benchmark jack" in text
+        assert "full" in text
+
+
+class TestExample:
+    def test_figure7_replay(self):
+        code, text = run_cli(["example"])
+        assert code == 0
+        assert "Figure 7(a)" in text
+        assert "Figure 7(h)" in text
+        assert "moves eliminated 3/3" in text
+        assert "paired loads fused 1" in text
+
+
+class TestTargets:
+    def test_describes_all_models(self):
+        code, text = run_cli(["targets"])
+        assert code == 0
+        for label in ("high", "middle", "low"):
+            assert label in text
+        assert "volatile" in text

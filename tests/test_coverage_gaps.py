@@ -1,0 +1,154 @@
+"""Focused tests for corners the broader suites pass over: printer
+annotations, CPG traversal helpers, interpreter float/byte paths, CLI
+error handling, dominance queries, and the chain-CPG ablation hook."""
+
+import io
+
+from repro.cli import main as cli_main
+from repro.core.allocator import _chain_cpg
+from repro.core.cpg import BOTTOM, TOP
+from repro.ir.builder import IRBuilder
+from repro.ir.printer import format_assignment, print_function
+from repro.ir.values import Const, PReg, RegClass, VReg
+from repro.regalloc.simplify import SimplifyResult
+from repro.sim.interp import run_function
+from repro.sim.ops import Memory
+
+from conftest import build_diamond
+
+
+class TestPrinterExtras:
+    def test_instruction_annotations(self):
+        func = build_diamond()
+        text = print_function(
+            func,
+            annotate_instr=lambda i: "move!" if i.is_move else "",
+        )
+        assert "; move!" not in text or text.count("; move!") >= 1
+
+    def test_block_annotations(self):
+        func = build_diamond()
+        text = print_function(
+            func, annotate_block=lambda blk: f"{len(blk.instrs)} instrs"
+        )
+        assert "; 1 instrs" in text or "instrs" in text
+
+    def test_format_assignment_lines(self):
+        table = {VReg(0, name="a"): PReg(1), VReg(1, name="b"): PReg(2)}
+        text = format_assignment(table, per_line=1)
+        assert "%a -> $r1" in text
+        assert len(text.splitlines()) == 2
+
+
+class TestChainCPG:
+    def test_chain_preserves_stack_order(self):
+        a, b, c = VReg(0, name="a"), VReg(1, name="b"), VReg(2, name="c")
+        simpl = SimplifyResult(stack=[a, b, c])
+        cpg = _chain_cpg(simpl)
+        # select order (pop) is c, b, a -> chain top->c->b->a->bottom
+        assert cpg.succs[TOP] == {c}
+        assert cpg.succs[c] == {b}
+        assert cpg.succs[b] == {a}
+        assert BOTTOM in cpg.succs[a]
+
+    def test_empty_stack(self):
+        cpg = _chain_cpg(SimplifyResult())
+        assert cpg.succs.get(TOP) == set()
+
+    def test_any_topological_order_covers_all(self):
+        a, b = VReg(0, name="a"), VReg(1, name="b")
+        cpg = _chain_cpg(SimplifyResult(stack=[a, b]))
+        order = cpg.any_topological_order()
+        assert order == [b, a]
+
+
+class TestInterpreterPaths:
+    def test_float_arithmetic_flow(self):
+        b = IRBuilder("f", n_params=0)
+        x = b.const(1.5, RegClass.FLOAT)
+        y = b.const(2.5, RegClass.FLOAT)
+        s = b.binop("fmul", x, y)
+        t = b.unary("ftoi", s, rclass=RegClass.INT)
+        b.ret(t)
+        assert run_function(b.finish()).value == 3
+
+    def test_byte_load_masks_memory(self):
+        b = IRBuilder("f", n_params=1)
+        v = b.load(b.param(0), 0, width="byte")
+        b.ret(v)
+        memory = Memory()
+        memory.write(400, 0xABC)
+        got = run_function(b.finish(), [400], memory=memory)
+        assert got.value == 0xBC
+
+    def test_store_then_load_roundtrip(self):
+        b = IRBuilder("f", n_params=1)
+        b.store(b.param(0), 8, Const(1234))
+        v = b.load(b.param(0), 8)
+        b.ret(v)
+        assert run_function(b.finish(), [64], memory=Memory()).value == 1234
+
+    def test_shift_and_mask_ops(self):
+        b = IRBuilder("f", n_params=1)
+        x = b.binop("shl", b.param(0), Const(3))
+        y = b.binop("and", x, Const(0xFF))
+        z = b.unary("not", y)
+        w = b.unary("neg", z)
+        b.ret(w)
+        # p0=5 -> shl 3 = 40 -> and 0xFF = 40 -> not = -41 -> neg = 41
+        assert run_function(b.finish(), [5]).value == 41
+
+
+class TestCLIErrors:
+    def test_parse_error_returns_one(self, tmp_path):
+        bad = tmp_path / "bad.ir"
+        bad.write_text("this is not ir")
+        out = io.StringIO()
+        assert cli_main(["alloc", str(bad)], out=out) == 1
+
+    def test_missing_file_raises_oserror(self, tmp_path):
+        import pytest
+
+        with pytest.raises(OSError):
+            cli_main(["alloc", str(tmp_path / "nope.ir")],
+                     out=io.StringIO())
+
+
+class TestDominanceQueries:
+    def test_dominates_along_linear_chain(self):
+        b = IRBuilder("f", n_params=0)
+        b.jump("m")
+        b.block("m")
+        b.jump("x")
+        b.block("x")
+        b.ret()
+        from repro.cfg.analysis import build_cfg
+        from repro.cfg.dominance import compute_dominance
+
+        dom = compute_dominance(build_cfg(b.finish()))
+        assert dom.dominates("entry", "x")
+        assert dom.dominates("m", "x")
+        assert not dom.dominates("x", "m")
+
+    def test_unreachable_blocks_excluded(self):
+        from repro.cfg.analysis import build_cfg
+        from repro.cfg.dominance import compute_dominance
+        from repro.ir.function import BasicBlock, Function
+        from repro.ir.instructions import Jump, Ret
+
+        func = Function("f", blocks=[
+            BasicBlock("entry", [Ret()]),
+            BasicBlock("island", [Jump("entry")]),
+        ])
+        dom = compute_dominance(build_cfg(func))
+        assert "island" not in dom.idom
+        assert "island" not in dom.frontier
+
+
+class TestMachineDescribe:
+    def test_figure7_description(self):
+        from repro.target.presets import figure7_machine
+
+        text = figure7_machine().describe()
+        assert "$r1" in text and "non-volatile" in text
+        assert "K=3" in text

@@ -1,0 +1,130 @@
+"""Error hierarchy, stats aggregation, and interpreter corner cases."""
+
+import pytest
+
+from repro.errors import (
+    AllocationError,
+    AllocationVerifyError,
+    AnalysisError,
+    IRError,
+    IRValidationError,
+    ParseError,
+    ReproError,
+    SimulationError,
+    TargetError,
+)
+from repro.ir.values import RegClass
+from repro.regalloc.base import AllocationStats
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("exc", [
+        IRError, IRValidationError, ParseError, AnalysisError,
+        AllocationError, AllocationVerifyError, SimulationError,
+        TargetError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_verify_error_is_allocation_error(self):
+        assert issubclass(AllocationVerifyError, AllocationError)
+
+    def test_validation_error_is_ir_error(self):
+        assert issubclass(IRValidationError, IRError)
+
+    def test_parse_error_carries_line(self):
+        err = ParseError("bad token", line=7)
+        assert err.line == 7
+        assert "line 7" in str(err)
+
+    def test_parse_error_without_line(self):
+        err = ParseError("bad token")
+        assert err.line is None
+        assert str(err) == "bad token"
+
+
+class TestStatsMerge:
+    def make(self, moves=10, elim=5, loads=2, stores=1):
+        stats = AllocationStats(allocator="x")
+        stats.moves_before = moves
+        stats.moves_eliminated = elim
+        stats.spill_loads = loads
+        stats.spill_stores = stores
+        stats.rounds = 2
+        stats.moves_before_class = {RegClass.INT: moves}
+        stats.moves_eliminated_class = {RegClass.INT: elim}
+        stats.nonvolatile_used = {RegClass.INT: 3}
+        return stats
+
+    def test_merge_sums_counters(self):
+        a, b = self.make(), self.make(moves=4, elim=2, loads=0, stores=0)
+        a.merge(b)
+        assert a.moves_before == 14
+        assert a.moves_eliminated == 7
+        assert a.spill_instructions == 3
+        assert a.moves_before_class[RegClass.INT] == 14
+
+    def test_merge_takes_max_rounds(self):
+        a, b = self.make(), self.make()
+        b.rounds = 7
+        a.merge(b)
+        assert a.rounds == 7
+
+    def test_merge_accumulates_new_classes(self):
+        a = self.make()
+        b = self.make()
+        b.moves_before_class = {RegClass.FLOAT: 3}
+        a.merge(b)
+        assert a.moves_before_class[RegClass.FLOAT] == 3
+        assert a.moves_before_class[RegClass.INT] == 10
+
+    def test_derived_properties(self):
+        stats = self.make()
+        assert stats.moves_remaining == 5
+        assert stats.spill_instructions == 3
+
+
+class TestInterpreterBinding:
+    def test_machine_binds_args_to_param_registers(self):
+        from repro.pipeline import prepare_function
+        from repro.sim.interp import run_function
+        from repro.target.presets import make_machine
+
+        from conftest import build_straightline
+
+        machine = make_machine(8)
+        func = prepare_function(build_straightline(), machine)
+        # post-lowering, parameters only exist in $r0/$r1
+        result = run_function(func, [30, 12], machine=machine)
+        assert result.value == 30 + 12 + 10
+
+    def test_without_machine_lowered_params_read_zero(self):
+        from repro.pipeline import prepare_function
+        from repro.sim.interp import run_function
+        from repro.target.presets import make_machine
+
+        from conftest import build_straightline
+
+        machine = make_machine(8)
+        func = prepare_function(build_straightline(), machine)
+        result = run_function(func, [30, 12])  # no machine: regs unseeded
+        assert result.value == 10
+
+    def test_memory_shared_between_runs_when_passed(self):
+        from repro.ir.builder import IRBuilder
+        from repro.sim.interp import run_function
+        from repro.sim.ops import Memory
+
+        b = IRBuilder("writer", n_params=1)
+        b.store(b.param(0), 0, b.const(99))
+        b.ret()
+        writer = b.finish()
+
+        b2 = IRBuilder("reader", n_params=1)
+        v = b2.load(b2.param(0), 0)
+        b2.ret(v)
+        reader = b2.finish()
+
+        memory = Memory()
+        run_function(writer, [500], memory=memory)
+        assert run_function(reader, [500], memory=memory).value == 99

@@ -1,0 +1,75 @@
+"""Fast integration checks of the evaluation's headline shapes.
+
+The full sweep lives in ``benchmarks/`` (every figure, every model);
+these tests assert the same qualitative claims on a single benchmark and
+model each so that plain ``pytest tests/`` also guards the paper's
+conclusions.
+"""
+
+import pytest
+
+from repro.core import PreferenceConfig, PreferenceDirectedAllocator
+from repro.pipeline import allocate_module, prepare_module
+from repro.regalloc import ChaitinAllocator, OptimisticCoalescingAllocator
+from repro.target.presets import high_pressure
+from repro.workloads import make_benchmark
+
+
+@pytest.fixture(scope="module")
+def jess_runs():
+    machine = high_pressure()
+    prepared = prepare_module(make_benchmark("jess"), machine)
+    return {
+        name: allocate_module(prepared, machine, factory())
+        for name, factory in [
+            ("chaitin", ChaitinAllocator),
+            ("optimistic", OptimisticCoalescingAllocator),
+            ("only", lambda: PreferenceDirectedAllocator(
+                PreferenceConfig.only_coalescing())),
+            ("full", PreferenceDirectedAllocator),
+        ]
+    }
+
+
+class TestFigure9Shape:
+    def test_coalescing_comparable_to_aggressive(self, jess_runs):
+        base = jess_runs["chaitin"].stats.moves_eliminated
+        ours = jess_runs["only"].stats.moves_eliminated
+        assert ours >= 0.85 * base
+
+    def test_spills_not_worse_than_base(self, jess_runs):
+        assert jess_runs["only"].stats.spill_instructions <= \
+            jess_runs["chaitin"].stats.spill_instructions + 4
+
+
+class TestFigure10Shape:
+    def test_full_preferences_fastest(self, jess_runs):
+        full = jess_runs["full"].cycles.total
+        assert full < jess_runs["only"].cycles.total
+        assert full < jess_runs["optimistic"].cycles.total
+        assert full < jess_runs["chaitin"].cycles.total
+
+    def test_volatility_drives_the_win(self, jess_runs):
+        # on the call-heavy test the caller-save component dominates the
+        # difference between full preferences and the coalescing-only
+        # allocators
+        full = jess_runs["full"].cycles
+        base = jess_runs["optimistic"].cycles
+        assert full.caller_save_cycles < base.caller_save_cycles
+
+
+class TestFigure7Shape:
+    def test_worked_example(self):
+        from repro.regalloc import allocate_function
+        from repro.sim.cycles import estimate_cycles
+        from repro.target.lowering import lower_function
+        from repro.target.presets import figure7_machine
+        from repro.workloads.figures import figure7_function
+
+        machine = figure7_machine()
+        func = figure7_function()
+        lower_function(func, machine)
+        result = allocate_function(func, machine,
+                                   PreferenceDirectedAllocator())
+        assert result.stats.moves_eliminated == 3
+        assert estimate_cycles(func, machine).paired_loads_fused == 1

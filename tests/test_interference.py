@@ -1,0 +1,143 @@
+"""Interference graph construction: the Chaitin rules."""
+
+from repro.analysis.interference import build_interference
+from repro.ir.builder import IRBuilder
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import Call, ConstInst, Move, Ret, Store
+from repro.ir.values import Const, PReg, RegClass, VReg
+
+from conftest import build_counted_loop
+
+
+class TestBasics:
+    def test_simultaneously_live_interfere(self):
+        b = IRBuilder("f", n_params=0)
+        x = b.const(1)
+        y = b.const(2)
+        z = b.add(x, y)
+        b.ret(z)
+        func = b.finish()
+        ig = build_interference(func)
+        assert ig.interferes(x, y)
+        assert not ig.interferes(x, z)
+
+    def test_move_exception(self):
+        # dst = src adds no dst-src edge even though src stays live.
+        a, tmp, out = VReg(0, name="a"), VReg(1, name="t"), VReg(2, name="o")
+        func = Function("f", blocks=[BasicBlock("entry", [
+            ConstInst(a, 1),
+            Move(tmp, a),
+            # `a` still live here (used below) alongside tmp
+            ConstInst(out, 2),
+            Store(a, 0, tmp),
+            Ret(a),
+        ])])
+        ig = build_interference(func)
+        assert not ig.interferes(tmp, a)
+        assert ig.interferes(out, a)
+
+    def test_redefinition_after_copy_creates_edge(self):
+        # a = ...; t = a; a = ... (while t live); use t, a
+        a, t = VReg(0, name="a"), VReg(1, name="t")
+        func = Function("f", blocks=[BasicBlock("entry", [
+            ConstInst(a, 1),
+            Move(t, a),
+            ConstInst(a, 2),
+            Store(a, 0, t),
+            Ret(),
+        ])])
+        ig = build_interference(func)
+        assert ig.interferes(t, a)
+
+    def test_dead_def_still_clobbers(self):
+        # x defined but never used while y is live across: they interfere.
+        x, y = VReg(0, name="x"), VReg(1, name="y")
+        func = Function("f", blocks=[BasicBlock("entry", [
+            ConstInst(y, 1),
+            ConstInst(x, 2),  # dead def
+            Ret(y),
+        ])])
+        ig = build_interference(func)
+        assert ig.interferes(x, y)
+
+    def test_cross_class_never_interferes(self):
+        b = IRBuilder("f", n_params=0)
+        x = b.const(1)
+        f = b.const(1.0, RegClass.FLOAT)
+        y = b.add(x, Const(1))
+        g = b.binop("fadd", f, Const(1.0, RegClass.FLOAT))
+        s = b.unary("ftoi", g, rclass=RegClass.INT)
+        t = b.add(y, s)
+        b.ret(t)
+        func = b.finish()
+        ig = build_interference(func)
+        assert not ig.interferes(x, f)
+
+
+class TestPhysical:
+    def test_preg_live_range_interferes(self):
+        r0 = PReg(0)
+        v = VReg(1, name="v")
+        func = Function("f", blocks=[BasicBlock("entry", [
+            ConstInst(v, 7),
+            ConstInst(r0, 1),            # r0 live to the call
+            Call("g", reg_uses=[r0]),
+            Ret(v),
+        ])])
+        ig = build_interference(func)
+        assert ig.interferes(v, r0)
+
+    def test_preg_preg_edges_implicit(self):
+        r0, r1 = PReg(0), PReg(1)
+        func = Function("f", blocks=[BasicBlock("entry", [
+            ConstInst(r0, 1),
+            ConstInst(r1, 2),
+            Call("g", reg_uses=[r0, r1]),
+            Ret(),
+        ])])
+        ig = build_interference(func)
+        assert ig.interferes(r0, r1)          # implicit, by identity
+        assert r1 not in ig.adjacency.get(r0, set())  # not stored
+
+    def test_call_return_def_interferes_with_crossing(self):
+        r0 = PReg(0)
+        keep = VReg(1, name="keep")
+        func = Function("f", blocks=[BasicBlock("entry", [
+            ConstInst(keep, 7),
+            Call("g", reg_defs=[r0]),
+            Move(VReg(2), r0),
+            Store(VReg(2), 0, keep),
+            Ret(),
+        ])])
+        ig = build_interference(func)
+        assert ig.interferes(keep, r0)
+
+    def test_calls_do_not_clobber_volatiles(self):
+        # Soft-cost model: a vreg live across a call does NOT interfere
+        # with registers the call leaves alone.
+        r0 = PReg(0)
+        keep = VReg(1, name="keep")
+        func = Function("f", blocks=[BasicBlock("entry", [
+            ConstInst(keep, 7),
+            Call("g"),
+            Ret(keep),
+        ])])
+        ig = build_interference(func)
+        assert not ig.interferes(keep, r0)
+
+
+class TestMoveList:
+    def test_moves_collected(self):
+        b = IRBuilder("f", n_params=1)
+        t = b.move(b.param(0))
+        u = b.move(t)
+        b.ret(u)
+        func = b.finish()
+        ig = build_interference(func)
+        assert len(ig.moves) == 2
+
+    def test_loop_graph_has_no_self_edges(self):
+        func = build_counted_loop()
+        ig = build_interference(func)
+        for node in ig.nodes():
+            assert node not in ig.neighbors(node)

@@ -1,0 +1,74 @@
+"""Cloning: deep independence of instructions, shared immutable values."""
+
+from repro.ir.clone import clone_function, clone_module
+from repro.ir.function import Module
+from repro.ir.instructions import Move
+from repro.ir.printer import print_function
+from repro.ir.values import VReg
+
+from conftest import build_call_heavy, build_diamond, build_straightline
+
+
+class TestCloneFunction:
+    def test_text_identical(self):
+        func = build_diamond()
+        assert print_function(clone_function(func)) == print_function(func)
+
+    def test_instructions_are_fresh_objects(self):
+        func = build_straightline()
+        copy = clone_function(func)
+        originals = {id(i) for _, i in func.instructions()}
+        for _, instr in copy.instructions():
+            assert id(instr) not in originals
+
+    def test_mutating_clone_leaves_original(self):
+        func = build_straightline()
+        copy = clone_function(func)
+        before = print_function(func)
+        for blk in copy.blocks:
+            for instr in blk.instrs:
+                instr.replace({v: VReg(999) for v in instr.used_regs()})
+        assert print_function(func) == before
+
+    def test_counters_preserved(self):
+        func = build_straightline()
+        func.new_slot()
+        copy = clone_function(func)
+        assert copy.next_vreg_id == func.next_vreg_id
+        assert copy.next_slot == func.next_slot
+        assert copy.returns_value == func.returns_value
+
+    def test_calls_cloned_with_lists(self):
+        func = build_call_heavy()
+        copy = clone_function(func)
+        from repro.ir.instructions import Call
+
+        orig_calls = [i for _, i in func.instructions()
+                      if isinstance(i, Call)]
+        copy_calls = [i for _, i in copy.instructions()
+                      if isinstance(i, Call)]
+        copy_calls[0].args.append(VReg(999))
+        assert len(orig_calls[0].args) != len(copy_calls[0].args)
+
+
+class TestCloneModule:
+    def test_all_functions_cloned(self):
+        module = Module("m")
+        module.add(build_straightline())
+        module.add(build_diamond())
+        copy = clone_module(module)
+        assert [f.name for f in copy.functions] == ["straight", "diamond"]
+        assert copy.functions[0] is not module.functions[0]
+
+
+class TestCloneAfterAllocation:
+    def test_spill_instructions_cloneable(self):
+        from repro.ir.function import BasicBlock, Function
+        from repro.ir.instructions import Ret, SpillLoad, SpillStore
+
+        func = Function("f", blocks=[BasicBlock("e", [
+            SpillStore(0, VReg(1)), SpillLoad(VReg(2), 0), Ret()
+        ])])
+        copy = clone_function(func)
+        assert isinstance(copy.entry.instrs[0], SpillStore)
+        assert copy.entry.instrs[1].slot == 0

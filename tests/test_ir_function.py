@@ -1,0 +1,134 @@
+"""Functions, blocks, modules: structure and helpers."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir.builder import IRBuilder
+from repro.ir.function import BasicBlock, Function, Module
+from repro.ir.instructions import Jump, Move, Phi, Ret
+from repro.ir.values import RegClass, VReg
+
+from conftest import build_diamond, build_straightline
+
+
+class TestBasicBlock:
+    def test_terminator(self):
+        blk = BasicBlock("b", [Move(VReg(0), VReg(1)), Ret()])
+        assert isinstance(blk.terminator, Ret)
+
+    def test_no_terminator(self):
+        blk = BasicBlock("b", [Move(VReg(0), VReg(1))])
+        assert blk.terminator is None
+
+    def test_phis_lead(self):
+        phi = Phi(VReg(0), {})
+        blk = BasicBlock("b", [phi, Move(VReg(1), VReg(2)), Ret()])
+        assert blk.phis() == [phi]
+        assert len(blk.non_phi_instrs()) == 2
+
+    def test_successors(self):
+        blk = BasicBlock("b", [Jump("next")])
+        assert blk.successors() == ("next",)
+
+    def test_insert_before_terminator(self):
+        blk = BasicBlock("b", [Ret()])
+        mv = Move(VReg(0), VReg(1))
+        blk.insert_before_terminator(mv)
+        assert blk.instrs == [mv, blk.instrs[1]]
+        assert isinstance(blk.instrs[1], Ret)
+
+
+class TestFunction:
+    def test_entry_is_first_block(self):
+        func = build_straightline()
+        assert func.entry.label == "entry"
+
+    def test_entry_requires_blocks(self):
+        with pytest.raises(IRError):
+            Function("f").entry
+
+    def test_block_lookup(self):
+        func = build_diamond()
+        assert func.block("merge").label == "merge"
+        with pytest.raises(IRError):
+            func.block("nope")
+
+    def test_new_vreg_monotone_ids(self):
+        func = Function("f")
+        a = func.new_vreg()
+        b = func.new_vreg(RegClass.FLOAT, name="x")
+        assert b.id == a.id + 1
+        assert b.rclass is RegClass.FLOAT and b.name == "x"
+
+    def test_new_slot(self):
+        func = Function("f")
+        assert func.new_slot() == 0
+        assert func.new_slot() == 1
+
+    def test_vregs_collects_params_uses_defs(self):
+        func = build_straightline()
+        regs = func.vregs()
+        assert set(func.params) <= regs
+        assert len(regs) >= 5
+
+    def test_instruction_count(self):
+        func = build_straightline()
+        assert func.instruction_count() == 4
+
+
+class TestModule:
+    def test_lookup(self):
+        module = Module("m")
+        func = module.add(build_straightline())
+        assert module.function("straight") is func
+        with pytest.raises(IRError):
+            module.function("nope")
+
+    def test_instruction_count_sums(self):
+        module = Module("m")
+        module.add(build_straightline())
+        module.add(build_diamond())
+        assert module.instruction_count() == (
+            module.functions[0].instruction_count()
+            + module.functions[1].instruction_count()
+        )
+
+
+class TestBuilder:
+    def test_duplicate_label_rejected(self):
+        b = IRBuilder("f")
+        b.jump("x")
+        b.block("x")
+        with pytest.raises(IRError):
+            b.block("x")
+
+    def test_append_after_terminator_rejected(self):
+        b = IRBuilder("f")
+        b.ret()
+        with pytest.raises(IRError):
+            b.const(1)
+
+    def test_finish_requires_terminators(self):
+        b = IRBuilder("f")
+        b.const(1)
+        with pytest.raises(IRError):
+            b.finish()
+
+    def test_param_classes(self):
+        b = IRBuilder("f", n_params=2,
+                      param_classes=[RegClass.INT, RegClass.FLOAT])
+        assert b.param(0).rclass is RegClass.INT
+        assert b.param(1).rclass is RegClass.FLOAT
+
+    def test_param_classes_length_mismatch(self):
+        with pytest.raises(IRError):
+            IRBuilder("f", n_params=2, param_classes=[RegClass.INT])
+
+    def test_phi_inserted_at_head(self):
+        b = IRBuilder("f", n_params=1)
+        b.jump("m")
+        b.block("m")
+        b.const(5)
+        b.phi({"entry": b.param(0)})
+        assert len(b.current.phis()) == 1
+        assert b.current.instrs[0] is b.current.phis()[0]

@@ -1,0 +1,138 @@
+"""Instruction operand interface: uses/defs/replace, flags, targets."""
+
+from repro.ir.instructions import (
+    BinOp,
+    Branch,
+    Call,
+    ConstInst,
+    Jump,
+    Load,
+    Move,
+    Phi,
+    Ret,
+    SpillLoad,
+    SpillStore,
+    Store,
+    UnaryOp,
+)
+from repro.ir.values import Const, PReg, VReg
+
+A, B, C = VReg(0, name="a"), VReg(1, name="b"), VReg(2, name="c")
+R0, R1 = PReg(0), PReg(1)
+
+
+class TestUsesDefs:
+    def test_const(self):
+        instr = ConstInst(A, 5)
+        assert instr.uses() == []
+        assert instr.defs() == [A]
+
+    def test_move(self):
+        instr = Move(A, B)
+        assert instr.uses() == [B]
+        assert instr.defs() == [A]
+        assert instr.is_move
+
+    def test_binop(self):
+        instr = BinOp("add", A, B, Const(1))
+        assert instr.uses() == [B, Const(1)]
+        assert instr.used_regs() == [B]
+        assert instr.defs() == [A]
+
+    def test_unary(self):
+        instr = UnaryOp("neg", A, B)
+        assert instr.uses() == [B]
+        assert instr.defs() == [A]
+
+    def test_load_store(self):
+        load = Load(A, B, 8)
+        assert load.uses() == [B]
+        assert load.defs() == [A]
+        store = Store(B, 8, A)
+        assert set(store.uses()) == {A, B}
+        assert store.defs() == []
+
+    def test_spill(self):
+        assert SpillLoad(A, 3).defs() == [A]
+        assert SpillLoad(A, 3).uses() == []
+        assert SpillStore(3, A).uses() == [A]
+        assert SpillStore(3, A).defs() == []
+
+    def test_call_unlowered(self):
+        call = Call("f", [B, Const(2)], A)
+        assert call.uses() == [B, Const(2)]
+        assert call.defs() == [A]
+        assert not call.lowered
+
+    def test_call_lowered(self):
+        call = Call("f", reg_uses=[R0], reg_defs=[R1])
+        assert call.uses() == [R0]
+        assert call.defs() == [R1]
+        assert call.lowered
+
+    def test_phi(self):
+        phi = Phi(A, {"b1": B, "b2": Const(0)})
+        assert set(phi.uses()) == {B, Const(0)}
+        assert phi.defs() == [A]
+
+    def test_ret(self):
+        assert Ret(A).uses() == [A]
+        assert Ret(None, reg_uses=[R0]).uses() == [R0]
+        assert Ret().uses() == []
+
+
+class TestTerminators:
+    def test_flags(self):
+        assert Jump("x").is_terminator
+        assert Branch(A, "x", "y").is_terminator
+        assert Ret().is_terminator
+        assert not Move(A, B).is_terminator
+
+    def test_targets(self):
+        assert Jump("x").block_targets() == ("x",)
+        assert Branch(A, "x", "y").block_targets() == ("x", "y")
+        assert Ret().block_targets() == ()
+        assert Move(A, B).block_targets() == ()
+
+
+class TestReplace:
+    def test_replace_all_slots(self):
+        instr = BinOp("add", A, A, B)
+        instr.replace({A: C})
+        assert instr.dst == C and instr.lhs == C and instr.rhs == B
+
+    def test_replace_uses_keeps_dst(self):
+        instr = BinOp("add", A, A, Const(1))
+        instr.replace_uses({A: C})
+        assert instr.dst == A and instr.lhs == C
+
+    def test_replace_defs_keeps_uses(self):
+        instr = BinOp("add", A, A, Const(1))
+        instr.replace_defs({A: C})
+        assert instr.dst == C and instr.lhs == A
+
+    def test_replace_phi(self):
+        phi = Phi(A, {"b": B})
+        phi.replace({B: C, A: C})
+        assert phi.dst == C and phi.incoming == {"b": C}
+
+    def test_replace_store_has_no_defs(self):
+        store = Store(B, 0, A)
+        store.replace_defs({A: C, B: C})
+        assert store.src == A and store.base == B
+
+    def test_identity_by_object(self):
+        a, b = Move(A, B), Move(A, B)
+        assert a != b  # eq=False: instructions are identity-hashable
+        assert len({a, b}) == 2
+
+
+class TestStr:
+    def test_formats(self):
+        assert str(Move(A, B)) == "%a = %b"
+        assert str(Load(A, B, 4)) == "%a = load [%b+4]"
+        assert str(Load(A, B, 4, "byte")) == "%a = load.b [%b+4]"
+        assert str(Store(B, 0, A)) == "store [%b+0] = %a"
+        assert str(Jump("L")) == "jump L"
+        assert str(SpillLoad(A, 2)) == "%a = reload slot2"
+        assert str(SpillStore(2, A)) == "spill slot2 = %a"

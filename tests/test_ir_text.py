@@ -1,0 +1,111 @@
+"""Printer and parser: formatting and round trips."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.ir.parser import parse_function, parse_module
+from repro.ir.printer import print_function, side_by_side
+from repro.ir.validate import validate_function
+
+from conftest import (
+    build_call_heavy,
+    build_counted_loop,
+    build_diamond,
+    build_straightline,
+)
+
+
+def roundtrip(func):
+    text = print_function(func)
+    parsed = parse_function(text)
+    validate_function(parsed)
+    assert print_function(parsed) == text
+    return parsed
+
+
+class TestRoundTrip:
+    def test_straightline(self):
+        roundtrip(build_straightline())
+
+    def test_diamond(self):
+        roundtrip(build_diamond())
+
+    def test_loop(self):
+        roundtrip(build_counted_loop())
+
+    def test_calls(self):
+        roundtrip(build_call_heavy())
+
+    def test_lowered_code_roundtrips(self):
+        from repro.target import lower_function, middle_pressure
+
+        func = build_call_heavy()
+        lower_function(func, middle_pressure())
+        roundtrip(func)
+
+    def test_spill_code_roundtrips(self):
+        text = """func f(%p0) -> value {
+entry:
+  spill slot0 = %p0
+  %t = reload slot0
+  ret %t
+}"""
+        parsed = parse_function(text)
+        assert print_function(parsed) == text
+
+
+class TestParserErrors:
+    def test_bad_header(self):
+        with pytest.raises(ParseError):
+            parse_function("nonsense {")
+
+    def test_unterminated(self):
+        with pytest.raises(ParseError):
+            parse_function("func f() {\nentry:\n  ret")
+
+    def test_instruction_before_label(self):
+        with pytest.raises(ParseError):
+            parse_function("func f() {\n  ret\n}")
+
+    def test_unknown_instruction(self):
+        with pytest.raises(ParseError):
+            parse_function("func f() {\nentry:\n  fandango %a\n}")
+
+    def test_line_numbers_reported(self):
+        with pytest.raises(ParseError) as err:
+            parse_function("func f() {\nentry:\n  %a = frobnicate %b, %c\n}")
+        assert "line 3" in str(err.value)
+
+
+class TestParserSemantics:
+    def test_float_prefix_infers_class(self):
+        func = parse_function(
+            "func f() {\nentry:\n  %f1 = 1.5\n  ret %f1\n}"
+        )
+        from repro.ir.values import RegClass
+
+        (reg,) = [v for v in func.vregs()]
+        assert reg.rclass is RegClass.FLOAT
+
+    def test_module_parses_multiple_functions(self):
+        text = (
+            print_function(build_straightline())
+            + "\n\n"
+            + print_function(build_diamond())
+        )
+        module = parse_module(text)
+        assert [f.name for f in module.functions] == ["straight", "diamond"]
+
+    def test_comments_ignored(self):
+        func = parse_function(
+            "func f() {\n; a comment\nentry:\n  ret ; trailing\n}"
+        )
+        assert func.entry.instrs[0].is_terminator
+
+
+class TestSideBySide:
+    def test_columns_align(self):
+        out = side_by_side(build_straightline(), build_diamond())
+        lines = out.splitlines()
+        assert all("|" in line for line in lines[2:])  # [1] is the rule
+        assert "before" in lines[0] and "after" in lines[0]

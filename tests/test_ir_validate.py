@@ -1,0 +1,129 @@
+"""IR validator: every enforced invariant has a violating case."""
+
+import pytest
+
+from repro.errors import IRValidationError
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import BinOp, Jump, Move, Phi, Ret
+from repro.ir.validate import validate_function, validate_module
+from repro.ir.values import RegClass, VReg
+
+from conftest import build_diamond, build_straightline
+
+
+def ivreg(i, name=None):
+    return VReg(i, RegClass.INT, name)
+
+
+def fvreg(i, name=None):
+    return VReg(i, RegClass.FLOAT, name)
+
+
+class TestStructural:
+    def test_valid_function_passes(self):
+        validate_function(build_diamond())
+
+    def test_empty_function_rejected(self):
+        with pytest.raises(IRValidationError):
+            validate_function(Function("f"))
+
+    def test_missing_terminator(self):
+        func = Function("f", blocks=[
+            BasicBlock("entry", [Move(ivreg(0), ivreg(1))])
+        ])
+        with pytest.raises(IRValidationError, match="terminator"):
+            validate_function(func)
+
+    def test_terminator_mid_block(self):
+        func = Function("f", blocks=[
+            BasicBlock("entry", [Ret(), Ret()])
+        ])
+        with pytest.raises(IRValidationError, match="mid-block"):
+            validate_function(func)
+
+    def test_unknown_branch_target(self):
+        func = Function("f", blocks=[BasicBlock("entry", [Jump("ghost")])])
+        with pytest.raises(IRValidationError, match="unknown block"):
+            validate_function(func)
+
+    def test_duplicate_labels(self):
+        func = Function("f", blocks=[
+            BasicBlock("x", [Ret()]), BasicBlock("x", [Ret()])
+        ])
+        with pytest.raises(IRValidationError, match="duplicate"):
+            validate_function(func)
+
+
+class TestPhis:
+    def test_phi_must_lead_block(self):
+        func = Function("f", blocks=[
+            BasicBlock("entry", [Jump("m")]),
+            BasicBlock("m", [
+                Move(ivreg(0), ivreg(1)),
+                Phi(ivreg(2), {"entry": ivreg(1)}),
+                Ret(),
+            ]),
+        ])
+        with pytest.raises(IRValidationError, match="lead"):
+            validate_function(func)
+
+    def test_phi_incoming_must_match_preds(self):
+        func = Function("f", blocks=[
+            BasicBlock("entry", [Jump("m")]),
+            BasicBlock("m", [Phi(ivreg(0), {"bogus": ivreg(1)}), Ret()]),
+        ])
+        with pytest.raises(IRValidationError, match="incoming"):
+            validate_function(func)
+
+
+class TestClasses:
+    def test_move_class_mismatch(self):
+        func = Function("f", blocks=[
+            BasicBlock("entry", [Move(ivreg(0), fvreg(1)), Ret()])
+        ])
+        with pytest.raises(IRValidationError, match="mixes classes"):
+            validate_function(func)
+
+    def test_binop_class_mismatch(self):
+        func = Function("f", blocks=[
+            BasicBlock("entry",
+                       [BinOp("add", ivreg(0), ivreg(1), fvreg(2)), Ret()])
+        ])
+        with pytest.raises(IRValidationError, match="mixes classes"):
+            validate_function(func)
+
+    def test_compare_may_mix(self):
+        func = Function("f", blocks=[
+            BasicBlock("entry",
+                       [BinOp("cmplt", ivreg(0), fvreg(1), fvreg(2)), Ret()])
+        ])
+        validate_function(func)
+
+
+class TestSSAMode:
+    def test_single_assignment_enforced(self):
+        v = ivreg(5)
+        func = Function("f", blocks=[
+            BasicBlock("entry", [Move(v, ivreg(1)), Move(v, ivreg(2)), Ret()])
+        ])
+        validate_function(func)  # fine without ssa flag
+        with pytest.raises(IRValidationError, match="SSA"):
+            validate_function(func, ssa=True)
+
+    def test_param_redefinition_rejected_in_ssa(self):
+        func = Function("f", params=[ivreg(0, "p")], blocks=[
+            BasicBlock("entry", [Move(ivreg(0, "p"), ivreg(1)), Ret()])
+        ])
+        with pytest.raises(IRValidationError, match="SSA"):
+            validate_function(func, ssa=True)
+
+
+class TestModuleValidation:
+    def test_module_validates_all(self):
+        from repro.ir.function import Module
+
+        module = Module("m")
+        module.add(build_straightline())
+        module.add(Function("bad", blocks=[BasicBlock("e", [])]))
+        with pytest.raises(IRValidationError):
+            validate_module(module)

@@ -1,0 +1,59 @@
+"""Value kinds: identity, classes, printing."""
+
+from repro.ir.values import Const, PReg, RegClass, VReg
+
+
+class TestRegClass:
+    def test_prefixes(self):
+        assert RegClass.INT.prefix() == "v"
+        assert RegClass.FLOAT.prefix() == "f"
+
+    def test_two_classes_exist(self):
+        assert len(RegClass) == 2
+
+
+class TestVReg:
+    def test_identity_by_fields(self):
+        assert VReg(1) == VReg(1)
+        assert VReg(1) != VReg(2)
+
+    def test_class_distinguishes(self):
+        assert VReg(1, RegClass.INT) != VReg(1, RegClass.FLOAT)
+
+    def test_hashable(self):
+        assert len({VReg(1), VReg(1), VReg(2)}) == 2
+
+    def test_str_unnamed(self):
+        assert str(VReg(3)) == "%v3"
+        assert str(VReg(3, RegClass.FLOAT)) == "%f3"
+
+    def test_str_named(self):
+        assert str(VReg(3, name="acc")) == "%acc"
+
+    def test_no_spill_flag_default_false(self):
+        assert not VReg(0).no_spill
+        assert VReg(0, no_spill=True).no_spill
+
+
+class TestPReg:
+    def test_str(self):
+        assert str(PReg(4)) == "$r4"
+        assert str(PReg(4, RegClass.FLOAT)) == "$fr4"
+        assert str(PReg(4, name="sp")) == "$sp"
+
+    def test_distinct_from_vreg(self):
+        assert PReg(1) != VReg(1)
+
+    def test_identity(self):
+        assert PReg(1) == PReg(1)
+        assert PReg(1) != PReg(1, RegClass.FLOAT)
+
+
+class TestConst:
+    def test_str(self):
+        assert str(Const(42)) == "42"
+        assert str(Const(2.5, RegClass.FLOAT)) == "2.5"
+
+    def test_equality(self):
+        assert Const(1) == Const(1)
+        assert Const(1) != Const(2)

@@ -1,0 +1,92 @@
+"""Paired-load candidate detection and register-group semantics."""
+
+from repro.core.pairs import WORD_SIZE, find_paired_loads
+from repro.core.rpg import RegGroup
+from repro.ir.builder import IRBuilder
+from repro.ir.values import PReg, RegClass
+
+
+def loads(b, base, *offsets, width="word", rclass=RegClass.INT):
+    return [b.load(base, off, width=width, rclass=rclass)
+            for off in offsets]
+
+
+class TestPairDetection:
+    def test_adjacent_offsets_pair(self):
+        b = IRBuilder("f", n_params=1)
+        lo, hi = loads(b, b.param(0), 0, WORD_SIZE)
+        b.ret(b.add(lo, hi))
+        pairs = find_paired_loads(b.finish())
+        assert len(pairs) == 1
+        assert pairs[0].dsts() == (lo, hi)
+
+    def test_gap_blocks_pairing(self):
+        b = IRBuilder("f", n_params=1)
+        lo, hi = loads(b, b.param(0), 0, 2 * WORD_SIZE)
+        b.ret(b.add(lo, hi))
+        assert not find_paired_loads(b.finish())
+
+    def test_different_bases_block_pairing(self):
+        b = IRBuilder("f", n_params=2)
+        x = b.load(b.param(0), 0)
+        y = b.load(b.param(1), WORD_SIZE)
+        b.ret(b.add(x, y))
+        assert not find_paired_loads(b.finish())
+
+    def test_intervening_instruction_blocks_pairing(self):
+        b = IRBuilder("f", n_params=1)
+        x = b.load(b.param(0), 0)
+        b.const(1)
+        y = b.load(b.param(0), WORD_SIZE)
+        b.ret(b.add(x, y))
+        assert not find_paired_loads(b.finish())
+
+    def test_byte_loads_never_pair(self):
+        b = IRBuilder("f", n_params=1)
+        x, y = loads(b, b.param(0), 0, WORD_SIZE, width="byte")
+        b.ret(b.add(x, y))
+        assert not find_paired_loads(b.finish())
+
+    def test_first_load_clobbering_base_blocks(self):
+        b = IRBuilder("f", n_params=1)
+        base = b.move(b.param(0))
+        x = b.load(base, 0, dst=base)       # overwrites the base
+        y = b.load(base, WORD_SIZE)
+        b.ret(b.add(x, y))
+        assert not find_paired_loads(b.finish())
+
+    def test_float_pairs_detected(self):
+        b = IRBuilder("f", n_params=1)
+        x, y = loads(b, b.param(0), 0, WORD_SIZE, rclass=RegClass.FLOAT)
+        s = b.binop("fadd", x, y)
+        t = b.unary("ftoi", s, rclass=RegClass.INT)
+        b.ret(t)
+        assert len(find_paired_loads(b.finish())) == 1
+
+    def test_mixed_class_destinations_block(self):
+        b = IRBuilder("f", n_params=1)
+        x = b.load(b.param(0), 0)
+        y = b.load(b.param(0), WORD_SIZE, rclass=RegClass.FLOAT)
+        z = b.unary("ftoi", y, rclass=RegClass.INT)
+        b.ret(b.add(x, z))
+        assert not find_paired_loads(b.finish())
+
+    def test_each_load_in_at_most_one_pair(self):
+        b = IRBuilder("f", n_params=1)
+        a, c, d = loads(b, b.param(0), 0, WORD_SIZE, 2 * WORD_SIZE)
+        b.ret(b.add(b.add(a, c), d))
+        pairs = find_paired_loads(b.finish())
+        assert len(pairs) == 1  # (a, c); d is not re-paired with c
+
+
+class TestRegGroup:
+    def test_str(self):
+        group = RegGroup("volatile", RegClass.INT,
+                         frozenset({PReg(0), PReg(1)}))
+        assert str(group) == "<volatile/int>"
+
+    def test_hashable_and_equal_by_value(self):
+        regs = frozenset({PReg(0)})
+        a = RegGroup("g", RegClass.INT, regs)
+        b_ = RegGroup("g", RegClass.INT, regs)
+        assert a == b_ and len({a, b_}) == 1

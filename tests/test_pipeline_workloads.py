@@ -1,0 +1,147 @@
+"""Pipeline orchestration and the synthetic workload generator."""
+
+import pytest
+
+from repro.core import PreferenceDirectedAllocator
+from repro.ir.printer import print_module
+from repro.ir.validate import validate_module
+from repro.pipeline import allocate_module, prepare_module
+from repro.regalloc import ChaitinAllocator
+from repro.sim.interp import run_function
+from repro.sim.ops import Memory
+from repro.target.presets import high_pressure, middle_pressure
+from repro.workloads import (
+    BENCHMARK_NAMES,
+    SPEC_PROFILES,
+    generate_function,
+    generate_module,
+    make_benchmark,
+    make_suite,
+)
+
+
+class TestGeneratorDeterminism:
+    def test_same_seed_same_module(self):
+        a = generate_module(SPEC_PROFILES["jess"], seed=3)
+        b = generate_module(SPEC_PROFILES["jess"], seed=3)
+        assert print_module(a) == print_module(b)
+
+    def test_different_seeds_differ(self):
+        a = generate_module(SPEC_PROFILES["jess"], seed=3)
+        b = generate_module(SPEC_PROFILES["jess"], seed=4)
+        assert print_module(a) != print_module(b)
+
+    def test_benchmarks_differ_from_each_other(self):
+        assert print_module(make_benchmark("jess")) != \
+            print_module(make_benchmark("db"))
+
+
+class TestGeneratorStructure:
+    def test_all_benchmarks_validate(self):
+        for name in BENCHMARK_NAMES:
+            validate_module(make_benchmark(name))
+
+    def test_function_counts_match_profiles(self):
+        for name, profile in SPEC_PROFILES.items():
+            module = make_benchmark(name)
+            assert len(module.functions) == profile.n_functions
+
+    def test_float_benchmarks_have_float_code(self):
+        from repro.ir.values import RegClass
+
+        module = make_benchmark("mpegaudio")
+        float_regs = [
+            v for f in module.functions for v in f.vregs()
+            if v.rclass is RegClass.FLOAT
+        ]
+        assert float_regs
+
+    def test_compress_has_byte_loads(self):
+        from repro.ir.instructions import Load
+
+        module = make_benchmark("compress")
+        byte_loads = [
+            i for f in module.functions for _, i in f.instructions()
+            if isinstance(i, Load) and i.width == "byte"
+        ]
+        assert byte_loads
+
+    def test_call_heavy_profiles_have_more_calls(self):
+        from repro.ir.instructions import Call
+
+        def call_density(name):
+            module = make_benchmark(name)
+            calls = sum(
+                isinstance(i, Call)
+                for f in module.functions for _, i in f.instructions()
+            )
+            return calls / module.instruction_count()
+
+        assert call_density("jess") > call_density("compress")
+
+    def test_every_function_terminates_under_interpretation(self):
+        module = make_benchmark("javac")
+        for func in module.functions:
+            args = [64 * (i + 1) for i in range(len(func.params))]
+            result = run_function(func, args, memory=Memory(),
+                                  step_limit=300_000)
+            assert result.steps > 0
+
+    def test_generate_function_standalone(self):
+        func = generate_function("solo", SPEC_PROFILES["db"], seed=11)
+        assert func.name == "solo"
+        assert func.instruction_count() > 10
+
+
+class TestSuite:
+    def test_make_suite_default_names(self):
+        suite = make_suite(["jess", "db"])
+        assert list(suite) == ["jess", "db"]
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(KeyError):
+            make_benchmark("quake")
+
+
+class TestPipeline:
+    def test_prepare_leaves_original_untouched(self):
+        module = make_benchmark("jack")
+        before = print_module(module)
+        prepare_module(module, middle_pressure())
+        assert print_module(module) == before
+
+    def test_prepared_module_is_lowered(self):
+        from repro.ir.instructions import Call, Phi
+
+        machine = middle_pressure()
+        prepared = prepare_module(make_benchmark("jack"), machine)
+        for func in prepared.functions:
+            for _, instr in func.instructions():
+                assert not isinstance(instr, Phi)
+                if isinstance(instr, Call):
+                    assert instr.lowered
+
+    def test_allocate_module_aggregates(self):
+        machine = high_pressure()
+        prepared = prepare_module(make_benchmark("jess"), machine)
+        run = allocate_module(prepared, machine, ChaitinAllocator())
+        assert len(run.results) == len(prepared.functions)
+        assert run.stats.moves_before == sum(
+            r.stats.moves_before for r in run.results
+        )
+        assert run.cycles.total > 0
+
+    def test_allocate_module_does_not_mutate_prepared(self):
+        machine = high_pressure()
+        prepared = prepare_module(make_benchmark("db"), machine)
+        before = print_module(prepared)
+        allocate_module(prepared, machine, PreferenceDirectedAllocator())
+        assert print_module(prepared) == before
+
+    def test_two_allocators_same_input_metrics_comparable(self):
+        machine = high_pressure()
+        prepared = prepare_module(make_benchmark("db"), machine)
+        a = allocate_module(prepared, machine, ChaitinAllocator())
+        b = allocate_module(prepared, machine,
+                            PreferenceDirectedAllocator())
+        assert a.stats.moves_before == b.stats.moves_before

@@ -1,0 +1,78 @@
+"""The aggressive post-coalescing extension (Section 6.1 suggestion)."""
+
+from repro.core import PreferenceConfig, PreferenceDirectedAllocator
+from repro.ir.clone import clone_function
+from repro.pipeline import prepare_function
+from repro.regalloc import allocate_function, verify_allocation
+from repro.sim.cycles import estimate_cycles
+from repro.sim.interp import run_function
+from repro.sim.ops import Memory
+from repro.target.presets import high_pressure, make_machine
+from repro.workloads import SPEC_PROFILES, generate_function
+
+from conftest import build_call_heavy, build_paired_loads
+
+
+def with_and_without(base, machine, config=None):
+    f1, f2 = clone_function(base), clone_function(base)
+    r1 = allocate_function(f1, machine,
+                           PreferenceDirectedAllocator(config))
+    r2 = allocate_function(
+        f2, machine,
+        PreferenceDirectedAllocator(config, name="post",
+                                    post_coalesce=True),
+    )
+    return (f1, r1), (f2, r2)
+
+
+class TestPostCoalesce:
+    def test_never_eliminates_fewer_moves(self, machine16):
+        for seed in range(8):
+            base = prepare_function(
+                generate_function("p", SPEC_PROFILES["jess"], seed),
+                machine16,
+            )
+            (_, plain), (_, post) = with_and_without(base, machine16)
+            assert post.stats.moves_eliminated >= \
+                plain.stats.moves_eliminated
+
+    def test_allocation_remains_valid_and_correct(self, machine16):
+        for seed in range(8):
+            raw = generate_function("p", SPEC_PROFILES["db"], seed)
+            args = [64 * (i + 1) for i in range(len(raw.params))]
+            want = run_function(clone_function(raw), args,
+                                memory=Memory())
+            base = prepare_function(raw, machine16)
+            func = clone_function(base)
+            allocate_function(
+                func, machine16,
+                PreferenceDirectedAllocator(post_coalesce=True),
+            )
+            verify_allocation(func, machine16)
+            got = run_function(func, args, machine=machine16,
+                               memory=Memory())
+            assert got.value == want.value
+
+    def test_does_not_break_paired_loads(self):
+        machine = make_machine(8)
+        base = prepare_function(build_paired_loads(), machine)
+        (_, _), (func, _) = with_and_without(base, machine)
+        assert estimate_cycles(func, machine).paired_loads_fused == 1
+
+    def test_does_not_regress_caller_saves(self):
+        machine = high_pressure()
+        base = prepare_function(build_call_heavy(), machine)
+        (f1, _), (f2, _) = with_and_without(base, machine)
+        plain = estimate_cycles(f1, machine)
+        post = estimate_cycles(f2, machine)
+        # the economics guard: any recoloring's move gain covers its
+        # placement loss, so total cycles cannot get worse
+        assert post.total <= plain.total + 1e-9
+
+    def test_works_in_only_coalescing_mode(self, machine16):
+        base = prepare_function(
+            generate_function("p", SPEC_PROFILES["javac"], 3), machine16
+        )
+        config = PreferenceConfig.only_coalescing()
+        (_, plain), (_, post) = with_and_without(base, machine16, config)
+        assert post.stats.moves_eliminated >= plain.stats.moves_eliminated

@@ -1,0 +1,118 @@
+"""Chow–Hennessy priority-based coloring (the Section 7 contrast)."""
+
+from repro.ir.clone import clone_function
+from repro.pipeline import prepare_function, prepare_module, allocate_module
+from repro.regalloc import (
+    ChaitinAllocator,
+    PriorityAllocator,
+    allocate_function,
+    verify_allocation,
+)
+from repro.sim.interp import run_function
+from repro.sim.ops import Memory
+from repro.target.presets import high_pressure, make_machine
+from repro.workloads import make_benchmark
+
+from conftest import (
+    build_call_heavy,
+    build_counted_loop,
+    build_diamond,
+    build_straightline,
+)
+
+FIXTURES = [
+    (build_straightline, [3, 4]),
+    (build_diamond, [1, 9]),
+    (build_counted_loop, [6]),
+    (build_call_heavy, [2, 5]),
+]
+
+
+class TestCorrectness:
+    def test_valid_and_semantics_preserved(self):
+        machine = make_machine(8)
+        for build, args in FIXTURES:
+            func = prepare_function(build(), machine)
+            want = run_function(clone_function(func), args,
+                                machine=machine, memory=Memory()).value
+            allocate_function(func, machine, PriorityAllocator())
+            verify_allocation(func, machine)
+            got = run_function(func, args, machine=machine,
+                               memory=Memory()).value
+            assert got == want
+
+    def test_whole_benchmark_allocates(self):
+        machine = high_pressure()
+        prepared = prepare_module(make_benchmark("jack"), machine)
+        run = allocate_module(prepared, machine, PriorityAllocator())
+        assert run.stats.rounds >= 1
+        assert run.cycles.total > 0
+
+    def test_spills_under_pressure(self):
+        from repro.ir.builder import IRBuilder
+        from repro.ir.values import Const
+
+        machine = make_machine(4)
+        b = IRBuilder("p", n_params=1)
+        vals = [b.add(b.param(0), Const(i)) for i in range(8)]
+        acc = vals[0]
+        for v in vals[1:]:
+            acc = b.add(acc, v)
+        b.ret(acc)
+        func = prepare_function(b.finish(), machine)
+        result = allocate_function(func, machine, PriorityAllocator())
+        verify_allocation(func, machine)
+        assert result.stats.spill_instructions > 0
+
+
+class TestOrderingPolicy:
+    def test_high_priority_ranges_keep_registers(self):
+        # A hot (loop-resident) value and cold values contending for the
+        # same small file: the hot one must not be the spilled one.
+        from repro.ir.builder import IRBuilder
+        from repro.ir.values import Const
+
+        machine = make_machine(4)
+        b = IRBuilder("p", n_params=1)
+        cold = [b.add(b.param(0), Const(i)) for i in range(6)]
+        hot = b.const(1)
+        b.jump("head")
+        b.block("head")
+        b.binop("add", hot, Const(1), dst=hot)
+        c = b.binop("cmplt", hot, Const(3))
+        b.branch(c, "head", "exit")
+        b.block("exit")
+        acc = hot
+        for v in cold:
+            acc = b.add(acc, v)
+        b.ret(acc)
+        func = prepare_function(b.finish(), machine)
+        result = allocate_function(func, machine, PriorityAllocator())
+        verify_allocation(func, machine)
+        # the hot accumulator never appears in spill code
+        from repro.ir.instructions import SpillLoad, SpillStore
+
+        spill_slots_in_loop = [
+            i for i in func.block_map().get("head", func.entry).instrs
+            if isinstance(i, (SpillLoad, SpillStore))
+        ]
+        assert not spill_slots_in_loop
+
+    def test_paper_claim_packing_beats_priority_on_spills(self):
+        # Section 7: Chaitin "favors packing live ranges", and priority
+        # coloring "may lead to a loss of performance because of
+        # spilling" — without coalescing, the priority order spills more
+        # under the same pressure.
+        machine = high_pressure()
+        prepared = prepare_module(make_benchmark("jess"), machine)
+        pri = allocate_module(prepared, machine, PriorityAllocator())
+        cha = allocate_module(prepared, machine, ChaitinAllocator())
+        assert pri.stats.spill_instructions >= \
+            cha.stats.spill_instructions
+
+    def test_no_coalescing_by_design(self):
+        machine = high_pressure()
+        prepared = prepare_module(make_benchmark("db"), machine)
+        pri = allocate_module(prepared, machine, PriorityAllocator())
+        cha = allocate_module(prepared, machine, ChaitinAllocator())
+        assert pri.stats.moves_eliminated < cha.stats.moves_eliminated

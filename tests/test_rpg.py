@@ -1,0 +1,172 @@
+"""Register Preference Graph construction: one case per preference type."""
+
+from repro.core.costs import CostModel
+from repro.core.prefs import PreferenceConfig, build_rpg, volatility_groups
+from repro.core.rpg import PrefKind, RegGroup
+from repro.ir.builder import IRBuilder
+from repro.ir.values import PReg, RegClass, VReg
+from repro.target.lowering import lower_function
+from repro.target.presets import high_pressure, middle_pressure
+
+from conftest import build_call_heavy, build_figure7, build_paired_loads
+
+
+def rpg_for(func, machine, config=None):
+    lower_function(func, machine)
+    costs = CostModel(func, machine)
+    return build_rpg(func, machine, costs, config), costs
+
+
+def edges_of_kind(rpg, kind):
+    return [e for v in rpg.nodes() for e in rpg.edges_from(v)
+            if e.kind is kind]
+
+
+class TestDedicated:
+    def test_param_copy_prefers_arg_register(self):
+        func = build_call_heavy()
+        machine = middle_pressure()
+        rpg, _ = rpg_for(func, machine, PreferenceConfig.only_coalescing())
+        coalesce = edges_of_kind(rpg, PrefKind.COALESCE)
+        to_phys = [e for e in coalesce if isinstance(e.target, PReg)]
+        assert any(e.target == machine.param_reg(0, RegClass.INT)
+                   for e in to_phys)
+
+    def test_dedicated_can_be_disabled(self):
+        func = build_call_heavy()
+        machine = middle_pressure()
+        config = PreferenceConfig(coalesce=True, dedicated=False,
+                                  paired_loads=False, volatility=False,
+                                  byte_loads=False)
+        rpg, _ = rpg_for(func, machine, config)
+        coalesce = edges_of_kind(rpg, PrefKind.COALESCE)
+        assert all(isinstance(e.target, VReg) for e in coalesce)
+
+
+class TestCoalesce:
+    def test_both_directions_for_copies(self):
+        b = IRBuilder("f", n_params=1)
+        t = b.move(b.param(0))     # p0 dies here
+        b.ret(t)
+        func = b.finish()
+        machine = middle_pressure()
+        rpg, _ = rpg_for(func, machine, PreferenceConfig.only_coalescing())
+        kinds = [(e.src, e.target) for e in
+                 edges_of_kind(rpg, PrefKind.COALESCE)
+                 if isinstance(e.target, VReg)]
+        # dst->src and src->dst both present for the vreg-vreg copy
+        pairs = {frozenset((a, b_)) for a, b_ in kinds}
+        assert any(len(p) == 2 for p in pairs)
+
+
+class TestPairedLoads:
+    def test_sequential_edges_both_ways(self):
+        func = build_paired_loads()
+        machine = middle_pressure()
+        rpg, _ = rpg_for(func, machine)
+        seq_prev = edges_of_kind(rpg, PrefKind.SEQ_PREV)
+        seq_next = edges_of_kind(rpg, PrefKind.SEQ_NEXT)
+        assert len(seq_prev) == 1 and len(seq_next) == 1
+        assert seq_prev[0].src == seq_next[0].target
+        assert seq_next[0].src == seq_prev[0].target
+
+    def test_disabled_on_machines_without_pairs(self):
+        from repro.target.presets import make_machine
+
+        func = build_paired_loads()
+        machine = make_machine(24, has_paired_loads=False)
+        rpg, _ = rpg_for(func, machine)
+        assert not edges_of_kind(rpg, PrefKind.SEQ_PREV)
+        assert not edges_of_kind(rpg, PrefKind.SEQ_NEXT)
+
+
+class TestVolatility:
+    def test_every_vreg_gets_both_groups(self):
+        func = build_call_heavy()
+        machine = middle_pressure()
+        rpg, _ = rpg_for(func, machine)
+        for v in func.vregs():
+            groups = [e.target.name for e in rpg.edges_from(v)
+                      if e.kind is PrefKind.GROUP]
+            assert "volatile" in groups and "non-volatile" in groups
+
+    def test_crossing_web_prefers_nonvolatile(self):
+        func = build_call_heavy()
+        machine = middle_pressure()
+        rpg, costs = rpg_for(func, machine)
+        crossing = [v for v in func.vregs() if costs.crosses_calls(v)
+                    and costs.spill_cost(v) > 2]
+        assert crossing
+        for v in crossing:
+            strengths = {
+                e.target.name: e.strength.best
+                for e in rpg.edges_from(v) if e.kind is PrefKind.GROUP
+            }
+            assert strengths["non-volatile"] > strengths["volatile"]
+
+    def test_groups_helper(self):
+        machine = middle_pressure()
+        vol, nonvol = volatility_groups(machine, RegClass.INT)
+        assert len(vol.regs) == 12 and len(nonvol.regs) == 12
+        assert not (vol.regs & nonvol.regs)
+
+
+class TestByteLoads:
+    def test_byte_load_gets_group_edge(self):
+        b = IRBuilder("f", n_params=1)
+        v = b.load(b.param(0), 0, width="byte")
+        b.ret(v)
+        func = b.finish()
+        machine = high_pressure()
+        rpg, _ = rpg_for(func, machine)
+        byte_edges = [
+            e for e in rpg.edges_from(v)
+            if e.kind is PrefKind.GROUP
+            and isinstance(e.target, RegGroup)
+            and e.target.name == "byte-capable"
+        ]
+        assert len(byte_edges) == 1
+        regfile = machine.file(RegClass.INT)
+        assert byte_edges[0].target.regs == regfile.byte_load_regs
+
+
+class TestFigure7Shape:
+    def test_v3_has_coalesce_to_v0_at_40_38(self):
+        func = build_figure7()
+        machine = __import__(
+            "repro.target.presets", fromlist=["figure7_machine"]
+        ).figure7_machine()
+        rpg, costs = rpg_for(func, machine)
+        by_name = {str(v): v for v in func.vregs()}
+        v3, v0 = by_name["%v4"], by_name["%v1"]
+        edges = [e for e in rpg.edges_from(v3)
+                 if e.kind is PrefKind.COALESCE and e.target == v0]
+        assert len(edges) == 1
+        assert edges[0].strength.vol == 40
+        assert edges[0].strength.nonvol == 38
+
+
+class TestGraphAPI:
+    def test_edge_count_and_nodes(self):
+        func = build_call_heavy()
+        machine = middle_pressure()
+        rpg, _ = rpg_for(func, machine)
+        assert rpg.edge_count() > 0
+        assert rpg.nodes()
+
+    def test_edges_to_indexes_live_range_targets(self):
+        b = IRBuilder("f", n_params=1)
+        t = b.move(b.param(0))
+        b.ret(t)
+        func = b.finish()
+        machine = middle_pressure()
+        rpg, _ = rpg_for(func, machine, PreferenceConfig.only_coalescing())
+        incoming = rpg.edges_to(t)
+        assert any(e.src != t for e in incoming)
+
+    def test_str_renders_edges(self):
+        func = build_call_heavy()
+        machine = middle_pressure()
+        rpg, _ = rpg_for(func, machine)
+        text = str(rpg)
+        assert "prefers" in text

@@ -1,0 +1,182 @@
+"""Simulation layer: operation semantics, memory, interpreter, cycles."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.ir.builder import IRBuilder
+from repro.ir.values import Const, PReg, RegClass
+from repro.sim.cycles import estimate_cycles
+from repro.sim.interp import run_function
+from repro.sim.ops import Memory, apply_binop, apply_unop, default_registry
+
+from conftest import (
+    build_call_heavy,
+    build_counted_loop,
+    build_diamond,
+    build_paired_loads,
+)
+
+
+class TestOps:
+    @pytest.mark.parametrize("op,a,b,expect", [
+        ("add", 2, 3, 5),
+        ("sub", 2, 3, -1),
+        ("mul", 4, 5, 20),
+        ("div", 7, 2, 3),
+        ("div", -7, 2, -3),      # truncating, not floor
+        ("div", 5, 0, 0),        # total
+        ("rem", 7, 2, 1),
+        ("rem", 5, 0, 0),
+        ("and", 6, 3, 2),
+        ("or", 6, 3, 7),
+        ("xor", 6, 3, 5),
+        ("shl", 1, 4, 16),
+        ("shr", 16, 4, 1),
+        ("cmplt", 1, 2, 1),
+        ("cmpge", 1, 2, 0),
+        ("cmpeq", 3, 3, 1),
+    ])
+    def test_int_ops(self, op, a, b, expect):
+        assert apply_binop(op, a, b) == expect
+
+    def test_wraparound_64bit(self):
+        big = (1 << 63) - 1
+        assert apply_binop("add", big, 1) == -(1 << 63)
+
+    def test_float_ops(self):
+        assert apply_binop("fadd", 1.5, 2.0) == 3.5
+        assert apply_binop("fdiv", 1.0, 0) == 0.0
+
+    def test_unary(self):
+        assert apply_unop("neg", 5) == -5
+        assert apply_unop("not", 0) == -1
+        assert apply_unop("zext8", 0x1FF) == 0xFF
+        assert apply_unop("itof", 3) == 3.0
+        assert apply_unop("ftoi", 3.9) == 3
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(SimulationError):
+            apply_binop("frob", 1, 2)
+
+
+class TestMemory:
+    def test_write_read(self):
+        mem = Memory()
+        mem.write(100, 42)
+        assert mem.read(100) == 42
+
+    def test_unwritten_deterministic(self):
+        assert Memory().read(1234) == Memory().read(1234)
+
+    def test_byte_read_masks(self):
+        mem = Memory()
+        mem.write(8, 0x1234)
+        assert mem.read(8, byte=True) == 0x34
+
+
+class TestInterpreter:
+    def test_diamond_both_paths(self):
+        func = build_diamond()
+        assert run_function(func, [1, 5]).value == 2   # p0+1
+        assert run_function(func, [5, 1]).value == 3   # p1+2
+
+    def test_loop_accumulates(self):
+        func = build_counted_loop(trips=3)
+        assert run_function(func, [7]).value == 21
+
+    def test_calls_use_registry(self):
+        func = build_call_heavy()
+        r1 = run_function(func, [2, 3])
+        r2 = run_function(func, [2, 3])
+        assert r1.value == r2.value  # registry is deterministic
+
+    def test_step_limit(self):
+        from repro.ir.builder import IRBuilder
+
+        b = IRBuilder("inf", n_params=0)
+        b.jump("spin")
+        b.block("spin")
+        b.jump("spin")
+        func = b.finish()
+        with pytest.raises(SimulationError):
+            run_function(func, step_limit=100)
+
+    def test_counts_collected(self):
+        func = build_counted_loop(trips=2)
+        result = run_function(func, [1])
+        assert result.count("BinOp") > 0
+        assert result.steps > 0
+
+    def test_unregistered_call_raises(self):
+        b = IRBuilder("f", n_params=0)
+        b.call("no_such_fn", [])
+        b.ret()
+        func = b.finish()
+        with pytest.raises(SimulationError):
+            run_function(func)
+
+    def test_undefined_register_reads_zero(self):
+        from repro.ir.function import BasicBlock, Function
+        from repro.ir.instructions import Ret
+        from repro.ir.values import VReg
+
+        func = Function("f", blocks=[
+            BasicBlock("entry", [Ret(VReg(99))])
+        ])
+        assert run_function(func).value == 0
+
+
+class TestCycles:
+    def _allocated(self, build, machine):
+        from repro.core import PreferenceDirectedAllocator
+        from repro.pipeline import prepare_function
+        from repro.regalloc import allocate_function
+
+        func = prepare_function(build(), machine)
+        allocate_function(func, machine, PreferenceDirectedAllocator())
+        return func
+
+    def test_report_components_nonnegative(self):
+        from repro.target.presets import middle_pressure
+
+        machine = middle_pressure()
+        func = self._allocated(build_call_heavy, machine)
+        report = estimate_cycles(func, machine)
+        assert report.total > 0
+        for field in ("op_cycles", "move_cycles", "spill_cycles",
+                      "caller_save_cycles", "callee_save_cycles",
+                      "byte_penalty_cycles", "call_overhead_cycles"):
+            assert getattr(report, field) >= 0
+
+    def test_paired_loads_fused_when_adjacent(self):
+        from repro.target.presets import middle_pressure
+
+        machine = middle_pressure()
+        func = self._allocated(build_paired_loads, machine)
+        report = estimate_cycles(func, machine)
+        assert report.paired_loads_fused == 1
+        assert report.paired_saved_cycles == 2.0
+
+    def test_callee_save_counts_distinct_nonvolatiles(self):
+        from repro.target.presets import middle_pressure
+
+        machine = middle_pressure()
+        func = self._allocated(build_call_heavy, machine)
+        report = estimate_cycles(func, machine)
+        # exactly 2 cycles per distinct non-volatile register used
+        assert report.callee_save_cycles % 2 == 0
+
+    def test_add_accumulates(self):
+        from repro.sim.cycles import CycleReport
+
+        a, b = CycleReport(), CycleReport()
+        a.op_cycles, b.op_cycles = 5.0, 7.0
+        b.paired_loads_fused = 2
+        a.add(b)
+        assert a.op_cycles == 12.0
+        assert a.paired_loads_fused == 2
+
+    def test_describe_mentions_total(self):
+        from repro.sim.cycles import CycleReport
+
+        assert "total=" in CycleReport().describe()

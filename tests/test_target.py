@@ -1,0 +1,191 @@
+"""Target machines and calling-convention lowering."""
+
+import pytest
+
+from repro.errors import TargetError
+from repro.ir.instructions import Call, ConstInst, Move, Ret
+from repro.ir.validate import validate_function
+from repro.ir.values import Const, PReg, RegClass
+from repro.target.lowering import lower_function
+from repro.target.machine import RegisterFile, TargetMachine
+from repro.target.presets import (
+    figure7_machine,
+    high_pressure,
+    low_pressure,
+    make_machine,
+    middle_pressure,
+)
+
+from conftest import build_call_heavy, build_straightline
+
+
+class TestPresets:
+    @pytest.mark.parametrize("factory,k", [
+        (high_pressure, 16), (middle_pressure, 24), (low_pressure, 32),
+    ])
+    def test_sizes(self, factory, k):
+        machine = factory()
+        assert machine.k(RegClass.INT) == k
+        assert machine.k(RegClass.FLOAT) == k
+
+    def test_half_volatile(self):
+        machine = middle_pressure()
+        regfile = machine.file(RegClass.INT)
+        assert len(regfile.volatile) == 12
+        assert len(regfile.nonvolatile) == 12
+
+    def test_eight_param_regs(self):
+        machine = low_pressure()
+        assert len(machine.file(RegClass.INT).param_regs) == 8
+
+    def test_return_is_first_param_reg(self):
+        machine = high_pressure()
+        regfile = machine.file(RegClass.INT)
+        assert regfile.return_reg == regfile.param_regs[0]
+
+    def test_byte_regs_int_only(self):
+        machine = high_pressure()
+        assert machine.file(RegClass.INT).byte_load_regs
+        assert not machine.file(RegClass.FLOAT).byte_load_regs
+
+    def test_figure7_conventions(self):
+        machine = figure7_machine()
+        regfile = machine.file(RegClass.INT)
+        assert regfile.k == 3
+        assert [r.index for r in regfile.regs] == [1, 2, 3]
+        assert regfile.return_reg.index == 1
+        assert {r.index for r in regfile.volatile} == {1, 2}
+
+    def test_adjacency_helpers(self):
+        regfile = high_pressure().file(RegClass.INT)
+        r5 = [r for r in regfile.regs if r.index == 5][0]
+        assert regfile.next_reg(r5).index == 6
+        assert regfile.prev_reg(r5).index == 4
+        last = [r for r in regfile.regs if r.index == 15][0]
+        assert regfile.next_reg(last) is None
+
+    def test_odd_size_rejected(self):
+        with pytest.raises(TargetError):
+            make_machine(7)
+
+    def test_bad_file_definitions_rejected(self):
+        regs = tuple(PReg(i) for i in range(4))
+        with pytest.raises(TargetError):
+            RegisterFile(
+                rclass=RegClass.INT, regs=regs,
+                volatile=frozenset({PReg(9)}),  # not in the file
+                param_regs=(regs[0],), return_reg=regs[0],
+            )
+        with pytest.raises(TargetError):
+            RegisterFile(
+                rclass=RegClass.INT, regs=regs,
+                volatile=frozenset(regs[:2]),
+                param_regs=(regs[3],),  # non-volatile param register
+                return_reg=regs[0],
+            )
+
+    def test_describe_mentions_conventions(self):
+        text = middle_pressure().describe()
+        assert "volatile" in text and "params" in text
+
+
+class TestLowering:
+    def test_params_arrive_in_arg_registers(self):
+        machine = middle_pressure()
+        func = build_straightline()
+        lower_function(func, machine)
+        first = func.entry.instrs[0]
+        assert isinstance(first, Move)
+        assert first.src == machine.param_reg(0, RegClass.INT)
+
+    def test_call_lowered_to_convention(self):
+        machine = middle_pressure()
+        func = build_call_heavy()
+        lower_function(func, machine)
+        calls = [i for _, i in func.instructions() if isinstance(i, Call)]
+        assert all(c.lowered for c in calls)
+        assert calls[0].reg_uses == [machine.param_reg(0, RegClass.INT)]
+        assert calls[0].reg_defs == [machine.file(RegClass.INT).return_reg]
+        validate_function(func)
+
+    def test_result_copied_from_return_register(self):
+        machine = middle_pressure()
+        func = build_call_heavy()
+        lower_function(func, machine)
+        retreg = machine.file(RegClass.INT).return_reg
+        blk = func.entry
+        indices = [idx for idx, i in enumerate(blk.instrs)
+                   if isinstance(i, Call)]
+        follow = blk.instrs[indices[0] + 1]
+        assert isinstance(follow, Move) and follow.src == retreg
+
+    def test_ret_value_through_return_register(self):
+        machine = middle_pressure()
+        func = build_straightline()
+        lower_function(func, machine)
+        last = func.blocks[-1].instrs[-1]
+        assert isinstance(last, Ret)
+        assert last.src is None
+        assert last.reg_uses == [machine.file(RegClass.INT).return_reg]
+
+    def test_const_args_materialized(self):
+        from repro.ir.builder import IRBuilder
+
+        b = IRBuilder("f", n_params=0)
+        r = b.call("helper", [Const(7)], returns=True)
+        b.ret(r)
+        func = b.finish()
+        machine = middle_pressure()
+        lower_function(func, machine)
+        first = func.entry.instrs[0]
+        assert isinstance(first, ConstInst) and first.value == 7
+
+    def test_unused_param_gets_no_move(self):
+        from repro.ir.builder import IRBuilder
+
+        b = IRBuilder("f", n_params=2)
+        b.ret(b.param(0))  # param 1 unused
+        func = b.finish()
+        lower_function(func, middle_pressure())
+        moves = [i for i in func.entry.instrs if isinstance(i, Move)]
+        assert len([m for m in moves if isinstance(m.src, PReg)]) == 1
+
+    def test_too_many_args_rejected(self):
+        from repro.ir.builder import IRBuilder
+
+        b = IRBuilder("f", n_params=0)
+        args = [Const(i) for i in range(9)]
+        b.call("helper", args)
+        b.ret()
+        func = b.finish()
+        with pytest.raises(TargetError):
+            lower_function(func, middle_pressure())
+
+    def test_lowering_rejects_phis(self):
+        from repro.ssa.construct import to_ssa
+
+        from conftest import build_diamond
+
+        func = build_diamond()
+        to_ssa(func)
+        with pytest.raises(TargetError):
+            lower_function(func, middle_pressure())
+
+    def test_mixed_class_call_args(self):
+        from repro.ir.builder import IRBuilder
+
+        b = IRBuilder("f", n_params=2,
+                      param_classes=[RegClass.INT, RegClass.FLOAT])
+        r = b.call("fhelper", [b.param(1), b.param(0)], returns=True,
+                   rclass=RegClass.FLOAT)
+        s = b.unary("ftoi", r, rclass=RegClass.INT)
+        b.ret(s)
+        func = b.finish()
+        machine = middle_pressure()
+        lower_function(func, machine)
+        (call,) = [i for _, i in func.instructions()
+                   if isinstance(i, Call)]
+        # First float arg in the float file's first param reg, first int
+        # arg in the int file's first param reg.
+        classes = [r.rclass for r in call.reg_uses]
+        assert RegClass.FLOAT in classes and RegClass.INT in classes

@@ -1,0 +1,135 @@
+"""The allocation verifier and the reporting helpers."""
+
+import pytest
+
+from repro.errors import AllocationVerifyError
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import (
+    BinOp,
+    ConstInst,
+    Move,
+    Ret,
+    SpillLoad,
+    SpillStore,
+)
+from repro.ir.values import PReg, VReg
+from repro.regalloc.verify import (
+    verify_allocation,
+    verify_assignment_against_interference,
+)
+from repro.reporting import format_ratio_table, format_table, geomean
+from repro.target.presets import make_machine
+
+
+class TestVerifyAllocation:
+    def test_surviving_vreg_detected(self):
+        machine = make_machine(8)
+        func = Function("f", blocks=[BasicBlock("e", [
+            Move(PReg(0), VReg(1)), Ret()
+        ])])
+        with pytest.raises(AllocationVerifyError, match="virtual"):
+            verify_allocation(func, machine)
+
+    def test_register_outside_file_detected(self):
+        machine = make_machine(8)
+        func = Function("f", blocks=[BasicBlock("e", [
+            ConstInst(PReg(99), 1), Ret()
+        ])])
+        with pytest.raises(AllocationVerifyError, match="not in the"):
+            verify_allocation(func, machine)
+
+    def test_reload_from_unwritten_slot_detected(self):
+        machine = make_machine(8)
+        func = Function("f", blocks=[BasicBlock("e", [
+            SpillLoad(PReg(0), 7), Ret()
+        ])])
+        with pytest.raises(AllocationVerifyError, match="never-written"):
+            verify_allocation(func, machine)
+
+    def test_clean_code_passes(self):
+        machine = make_machine(8)
+        func = Function("f", blocks=[BasicBlock("e", [
+            ConstInst(PReg(0), 1),
+            SpillStore(0, PReg(0)),
+            SpillLoad(PReg(1), 0),
+            Ret(None, reg_uses=[PReg(1)]),
+        ])])
+        verify_allocation(func, machine)
+
+
+class TestVerifyAssignment:
+    def _interfering_pair(self):
+        x, y, z = VReg(0, name="x"), VReg(1, name="y"), VReg(2, name="z")
+        func = Function("f", blocks=[BasicBlock("e", [
+            ConstInst(x, 1),
+            ConstInst(y, 2),
+            BinOp("add", z, x, y),
+            Ret(z),
+        ])])
+        return func, x, y, z
+
+    def test_shared_register_detected(self):
+        func, x, y, z = self._interfering_pair()
+        bad = {x: PReg(0), y: PReg(0), z: PReg(1)}
+        with pytest.raises(AllocationVerifyError, match="share"):
+            verify_assignment_against_interference(func, bad)
+
+    def test_good_assignment_passes(self):
+        func, x, y, z = self._interfering_pair()
+        good = {x: PReg(0), y: PReg(1), z: PReg(0)}
+        verify_assignment_against_interference(func, good)
+
+    def test_missing_assignment_detected(self):
+        func, x, y, z = self._interfering_pair()
+        with pytest.raises(AllocationVerifyError, match="unassigned"):
+            verify_assignment_against_interference(func, {x: PReg(0)})
+
+    def test_conflict_with_physical_detected(self):
+        x = VReg(0, name="x")
+        func = Function("f", blocks=[BasicBlock("e", [
+            ConstInst(x, 1),
+            ConstInst(PReg(3), 2),     # PReg(3) live range overlaps x
+            BinOp("add", PReg(4), x, PReg(3)),
+            Ret(None, reg_uses=[PReg(4)]),
+        ])])
+        with pytest.raises(AllocationVerifyError, match="interferes"):
+            verify_assignment_against_interference(func, {x: PReg(3)})
+
+
+class TestReporting:
+    def test_geomean(self):
+        assert geomean([1, 1, 1]) == pytest.approx(1.0)
+        assert geomean([2, 8]) == pytest.approx(4.0)
+        assert geomean([]) == 0.0
+        assert geomean([0, 4]) == pytest.approx(4.0)  # non-positive dropped
+
+    def test_format_table_alignment(self):
+        text = format_table(
+            "T", ["row1"], ["colA", "colB"],
+            {("row1", "colA"): 1.5, ("row1", "colB"): 2.0},
+        )
+        assert "T" in text and "colA" in text
+        assert "1.500" in text and "2.000" in text
+        assert "geo. mean" in text
+
+    def test_missing_cells_dashed(self):
+        text = format_table("T", ["r"], ["a", "b"], {("r", "a"): 1.0})
+        assert "-" in text
+
+    def test_ratio_table_normalizes(self):
+        raw = {
+            ("jess", "base"): 10.0,
+            ("jess", "ours"): 5.0,
+            ("db", "base"): 4.0,
+            ("db", "ours"): 8.0,
+        }
+        text = format_ratio_table("T", ["jess", "db"], ["base", "ours"],
+                                  raw, base_column="base")
+        assert "0.500" in text and "2.000" in text
+        assert "base" not in text.splitlines()[2]
+
+    def test_ratio_table_zero_base(self):
+        raw = {("r", "base"): 0.0, ("r", "ours"): 0.0}
+        text = format_ratio_table("T", ["r"], ["base", "ours"], raw,
+                                  base_column="base")
+        assert "1.000" in text
