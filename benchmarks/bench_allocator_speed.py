@@ -5,13 +5,35 @@ integer-programming allocators of Section 7).  This bench times each
 allocator over the same prepared module so the RPG/CPG overhead is
 visible next to the baselines.  No figure corresponds to this; it backs
 the Section 7 discussion and DESIGN.md's complexity notes.
+
+Run as a script to emit a machine-readable report::
+
+    PYTHONPATH=src python benchmarks/bench_allocator_speed.py \
+        --bench jess --model 24 --repeats 5 --out BENCH_allocator_speed.json
+
+The report carries each allocator's best wall time plus the allocation
+*fingerprint* (moves eliminated, spill instructions, cycle estimate) so
+a speedup can never silently come from changed results.
+``baseline_full_s`` is the pre-bitset time of the ``full`` allocator on
+jess/24 measured on this machine before the dense-index/bitmask kernels
+landed; ``speedup_full`` is relative to it.
 """
 
-import pytest
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 from conftest import ALLOCATORS, prepared_module
 
 from repro.pipeline import allocate_module
+
+#: jess/24 ``full`` wall time before the bitset dataflow kernels (best
+#: of 3 on the reference machine; see DESIGN.md "Bitset kernels").
+BASELINE_FULL_S = 1.113
 
 TIMED = [
     "chaitin",
@@ -25,11 +47,95 @@ TIMED = [
 ]
 
 
-@pytest.mark.parametrize("allocator", TIMED)
-def test_allocation_time(benchmark, allocator):
-    prepared, machine = prepared_module("jess", "24")
-    benchmark.pedantic(
-        lambda: allocate_module(prepared, machine,
-                                ALLOCATORS[allocator]()),
-        rounds=3, iterations=1, warmup_rounds=0,
-    )
+def fingerprint(result) -> dict:
+    """Result digest proving a timing change is not a behavior change."""
+    stats = result.stats
+    return {
+        "moves_eliminated": stats.moves_eliminated,
+        "spill_instructions": stats.spill_loads + stats.spill_stores,
+        "spilled_webs": stats.spilled_webs,
+        "cycles": result.cycles.total,
+    }
+
+
+def time_allocator(prepared, machine, name: str, repeats: int,
+                   jobs: int) -> dict:
+    allocator = ALLOCATORS[name]()
+    result = allocate_module(prepared, machine, allocator, jobs=jobs)  # warm
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = allocate_module(prepared, machine, allocator, jobs=jobs)
+        times.append(time.perf_counter() - start)
+    return {
+        "best_s": round(min(times), 4),
+        "mean_s": round(sum(times) / len(times), 4),
+        **fingerprint(result),
+    }
+
+
+def run(bench: str, model: str, allocators: list[str], repeats: int,
+        jobs: int) -> dict:
+    prepared, machine = prepared_module(bench, model)
+    report = {
+        "bench": bench,
+        "model": model,
+        "repeats": repeats,
+        "jobs": jobs,
+        "python": sys.version.split()[0],
+        "baseline_full_s": BASELINE_FULL_S,
+        "allocators": {},
+    }
+    for name in allocators:
+        report["allocators"][name] = time_allocator(
+            prepared, machine, name, repeats, jobs
+        )
+        print(f"{name:>16}: {report['allocators'][name]['best_s']:.3f}s")
+    full = report["allocators"].get("full")
+    if full:
+        report["speedup_full"] = round(BASELINE_FULL_S / full["best_s"], 2)
+        print(f"full speedup vs pre-bitset baseline "
+              f"({BASELINE_FULL_S}s): {report['speedup_full']}x")
+    return report
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bench", default="jess")
+    parser.add_argument("--model", default="24")
+    parser.add_argument("--allocators", nargs="*", default=TIMED,
+                        choices=sorted(ALLOCATORS))
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="process-pool width for allocate_module")
+    parser.add_argument("--out", default="BENCH_allocator_speed.json")
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+    report = run(args.bench, args.model, args.allocators, args.repeats,
+                 args.jobs)
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points (kept for `pytest benchmarks/`)
+
+try:
+    import pytest
+except ImportError:  # pragma: no cover - scripts-only environments
+    pytest = None
+
+if pytest is not None:
+    @pytest.mark.parametrize("allocator", TIMED)
+    def test_allocation_time(benchmark, allocator):
+        prepared, machine = prepared_module("jess", "24")
+        benchmark.pedantic(
+            lambda: allocate_module(prepared, machine,
+                                    ALLOCATORS[allocator]()),
+            rounds=3, iterations=1, warmup_rounds=0,
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+"""Dense per-function register indexing for bitset dataflow kernels.
+
+All dataflow-heavy analyses (liveness, interference) run over Python
+integers used as bitsets: every :class:`~repro.ir.values.Register` that
+occurs in a function gets a small dense id, sets of registers become int
+masks, and set algebra becomes single machine-word-per-64-registers
+``&``/``|``/``~`` operations.
+
+Ids are assigned in *first-encounter order* of a deterministic walk
+(parameters, then instructions in block order), so the same function —
+or two identical clones of it — produces the same index in every
+process.  Nothing here depends on hash order.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.instructions import Phi
+from repro.ir.values import PReg, RegClass, Register, VReg
+
+__all__ = ["RegisterIndex", "index_function", "iter_bits"]
+
+
+def iter_bits(mask: int):
+    """Yield the set bit positions of ``mask``, lowest first."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+class RegisterIndex:
+    """Bidirectional Register <-> dense-int mapping plus group masks."""
+
+    __slots__ = ("ids", "regs", "int_mask", "float_mask", "preg_mask")
+
+    def __init__(self) -> None:
+        self.ids: dict[Register, int] = {}
+        self.regs: list[Register] = []
+        #: masks over all indexed registers, by class / physicality
+        self.int_mask: int = 0
+        self.float_mask: int = 0
+        self.preg_mask: int = 0
+
+    def __len__(self) -> int:
+        return len(self.regs)
+
+    def add(self, reg: Register) -> int:
+        """Id of ``reg``, assigning the next dense id on first sight."""
+        idx = self.ids.get(reg)
+        if idx is None:
+            idx = len(self.regs)
+            self.ids[reg] = idx
+            self.regs.append(reg)
+            bit = 1 << idx
+            if reg.rclass is RegClass.INT:
+                self.int_mask |= bit
+            else:
+                self.float_mask |= bit
+            if isinstance(reg, PReg):
+                self.preg_mask |= bit
+        return idx
+
+    def id_of(self, reg: Register) -> int:
+        return self.ids[reg]
+
+    def bit_of(self, reg: Register) -> int:
+        """``1 << id``, indexing ``reg`` on demand."""
+        return 1 << self.add(reg)
+
+    def class_mask(self, reg: Register) -> int:
+        """Mask of all indexed registers sharing ``reg``'s class."""
+        return self.int_mask if reg.rclass is RegClass.INT else self.float_mask
+
+    def mask_of(self, regs) -> int:
+        """Bitset of an iterable of registers (indexed on demand)."""
+        mask = 0
+        for reg in regs:
+            mask |= 1 << self.add(reg)
+        return mask
+
+    def set_of(self, mask: int) -> set[Register]:
+        """Materialize a mask back into a ``set[Register]``."""
+        regs = self.regs
+        return {regs[i] for i in iter_bits(mask)}
+
+    def regs_of(self, mask: int) -> list[Register]:
+        """Registers of ``mask`` in dense-id (deterministic) order."""
+        regs = self.regs
+        return [regs[i] for i in iter_bits(mask)]
+
+
+def index_function(func: Function) -> RegisterIndex:
+    """Index every register of ``func`` in deterministic walk order."""
+    index = RegisterIndex()
+    add = index.add
+    for param in func.params:
+        add(param)
+    for blk in func.blocks:
+        for instr in blk.instrs:
+            for d in instr.defs():
+                if isinstance(d, (VReg, PReg)):
+                    add(d)
+            if isinstance(instr, Phi):
+                for value in instr.incoming.values():
+                    if isinstance(value, (VReg, PReg)):
+                        add(value)
+            else:
+                for u in instr.uses():
+                    if isinstance(u, (VReg, PReg)):
+                        add(u)
+    return index

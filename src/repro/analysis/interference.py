@@ -11,6 +11,14 @@ Chaitin's definition with the standard refinements:
 * registers of different classes never interfere (separate files);
 * physical–physical edges are implicit and not stored.
 
+The builder accumulates adjacency as *bitmasks* over the dense register
+index that liveness computed: one backward scan per block keeps the live
+set as an int, and each definition point ORs the whole live mask into
+the definer's adjacency row in one operation.  Rows are symmetrized and
+materialized into the public dict-of-sets adjacency at the end.
+:func:`build_interference_reference` retains the direct set-based
+builder as the property-test oracle.
+
 The result also collects the function's move instructions — the
 coalescing worklist every allocator variant starts from.
 """
@@ -19,13 +27,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.analysis.indexing import iter_bits
 from repro.analysis.liveness import Liveness, compute_liveness
 from repro.cfg.analysis import CFG, build_cfg
 from repro.ir.function import Function
 from repro.ir.instructions import Move, Phi
-from repro.ir.values import PReg, Register, VReg
+from repro.ir.values import PReg, RegClass, Register, VReg
 
-__all__ = ["InterferenceGraph", "build_interference"]
+__all__ = [
+    "InterferenceGraph",
+    "build_interference",
+    "build_interference_reference",
+]
 
 
 @dataclass(eq=False)
@@ -40,6 +53,23 @@ class InterferenceGraph:
 
     def vregs(self) -> list[VReg]:
         return [n for n in self.adjacency if isinstance(n, VReg)]
+
+    def nodes_by_class(self) -> dict[RegClass, list[Register]]:
+        """Nodes partitioned by register class, in insertion order.
+
+        Computed once and cached so per-class projections
+        (:func:`~repro.regalloc.igraph.build_alloc_graph`) do not rescan
+        every node of the function for every class; the cache refreshes
+        if nodes were added since it was built.
+        """
+        cached = getattr(self, "_class_cache", None)
+        if cached is not None and cached[0] == len(self.adjacency):
+            return cached[1]
+        partition: dict[RegClass, list[Register]] = {}
+        for node in self.adjacency:
+            partition.setdefault(node.rclass, []).append(node)
+        self._class_cache = (len(self.adjacency), partition)
+        return partition
 
     def ensure(self, node: Register) -> None:
         self.adjacency.setdefault(node, set())
@@ -72,6 +102,80 @@ def build_interference(
     liveness: Liveness | None = None,
 ) -> InterferenceGraph:
     """Build the interference graph of a phi-free, lowered function."""
+    if cfg is None:
+        cfg = build_cfg(func)
+    if liveness is None:
+        liveness = compute_liveness(func, cfg)
+    if liveness.index is None:
+        return build_interference_reference(func, cfg, liveness)
+
+    index = liveness.index
+    bit_of = index.bit_of
+    out_mask = liveness.live_out_mask
+
+    graph = InterferenceGraph()
+    moves = graph.moves
+    #: dense id -> adjacency mask (one-sided; symmetrized below)
+    rows: dict[int, int] = {}
+    seen = 0
+
+    for param in func.params:
+        seen |= bit_of(param)
+
+    for blk in func.blocks:
+        live = out_mask[blk.label]
+        for instr in reversed(blk.instrs):
+            if isinstance(instr, Phi):
+                raise ValueError("interference runs after out-of-SSA")
+            defs = [d for d in instr.defs() if isinstance(d, (VReg, PReg))]
+            uses = [u for u in instr.uses() if isinstance(u, (VReg, PReg))]
+
+            if isinstance(instr, Move):
+                moves.append(instr)
+                if isinstance(instr.src, (VReg, PReg)):
+                    live &= ~bit_of(instr.src)
+
+            defs_mask = 0
+            for d in defs:
+                defs_mask |= bit_of(d)
+            seen |= defs_mask
+            targets = live | defs_mask
+            for d in defs:
+                dbit = bit_of(d)
+                row = (targets & index.class_mask(d)) & ~dbit
+                if isinstance(d, PReg):
+                    # Physical-physical edges are implicit, never stored.
+                    row &= ~index.preg_mask
+                i = dbit.bit_length() - 1
+                rows[i] = rows.get(i, 0) | row
+
+            live &= ~defs_mask
+            for u in uses:
+                live |= bit_of(u)
+            seen |= live
+
+    # Symmetrize: every edge recorded on the definer's row lands on the
+    # partner's row too (cost: one pass over the stored edges).
+    for i, row in list(rows.items()):
+        bit = 1 << i
+        for j in iter_bits(row):
+            rows[j] = rows.get(j, 0) | bit
+
+    # Materialize the public dict-of-sets adjacency in dense-id order so
+    # node insertion order is deterministic.
+    regs = index.regs
+    adjacency = graph.adjacency
+    for i in iter_bits(seen):
+        adjacency[regs[i]] = {regs[j] for j in iter_bits(rows.get(i, 0))}
+    return graph
+
+
+def build_interference_reference(
+    func: Function,
+    cfg: CFG | None = None,
+    liveness: Liveness | None = None,
+) -> InterferenceGraph:
+    """The direct set-based builder (oracle for the bitset kernel)."""
     if cfg is None:
         cfg = build_cfg(func)
     if liveness is None:

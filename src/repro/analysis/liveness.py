@@ -7,18 +7,34 @@ def at the top of its block.  Physical registers are tracked exactly like
 virtual ones — their live ranges (argument setup before calls, the return
 register, ...) create the dedicated-register interference the allocators
 must respect.
+
+The fixed point runs as a *worklist algorithm over int bitmasks*: every
+register gets a dense id (:mod:`repro.analysis.indexing`), each block is
+summarized once into gen (upward-exposed use) / kill (def) masks, and one
+transfer step is a handful of word-wide ``&``/``|`` operations instead of
+per-register set algebra.  :func:`compute_liveness_reference` retains the
+direct set-based formulation; the property suite asserts the two agree
+set-for-set on randomized CFGs.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
+from repro.analysis.indexing import RegisterIndex, index_function
 from repro.cfg.analysis import CFG, build_cfg
 from repro.ir.function import BasicBlock, Function
 from repro.ir.instructions import Phi
 from repro.ir.values import PReg, Register, VReg
 
-__all__ = ["Liveness", "compute_liveness"]
+__all__ = [
+    "Liveness",
+    "compute_liveness",
+    "compute_liveness_reference",
+    "instruction_liveness",
+    "instruction_liveness_masks",
+]
 
 
 def _regs(values) -> set[Register]:
@@ -35,6 +51,12 @@ class Liveness:
     use: dict[str, set[Register]] = field(default_factory=dict)
     #: registers defined per block (phi dsts included)
     defs: dict[str, set[Register]] = field(default_factory=dict)
+    #: dense register index shared by the mask fields (None when the
+    #: object was built by hand rather than by :func:`compute_liveness`)
+    index: RegisterIndex | None = None
+    #: bitmask twins of ``live_in``/``live_out``, for mask-level consumers
+    live_in_mask: dict[str, int] = field(default_factory=dict)
+    live_out_mask: dict[str, int] = field(default_factory=dict)
 
     def live_across_instr(self, block: BasicBlock, index: int) -> set[Register]:
         """Registers live immediately *after* ``block.instrs[index]``.
@@ -74,8 +96,90 @@ def phi_uses_on_edge(succ_block: BasicBlock, pred_label: str) -> set[Register]:
     return out
 
 
+def _block_masks(
+    block: BasicBlock, index: RegisterIndex
+) -> tuple[int, int, int]:
+    """(gen, kill, phi-def) masks of one block."""
+    bit_of = index.bit_of
+    gen = kill = phi_defs = 0
+    for instr in block.instrs:
+        if isinstance(instr, Phi):
+            dbit = bit_of(instr.dst)
+            kill |= dbit
+            phi_defs |= dbit
+            continue
+        for u in instr.uses():
+            if isinstance(u, (VReg, PReg)):
+                ubit = bit_of(u)
+                if not kill & ubit:
+                    gen |= ubit
+        for d in instr.defs():
+            if isinstance(d, (VReg, PReg)):
+                kill |= bit_of(d)
+    return gen, kill, phi_defs
+
+
 def compute_liveness(func: Function, cfg: CFG | None = None) -> Liveness:
-    """Iterative backward dataflow to a fixed point."""
+    """Worklist bitmask dataflow to a fixed point."""
+    if cfg is None:
+        cfg = build_cfg(func)
+    index = index_function(func)
+    blocks = func.block_map()
+
+    gen: dict[str, int] = {}
+    kill: dict[str, int] = {}
+    phi_defs: dict[str, int] = {}
+    #: per-edge phi-arm uses: (pred, succ) -> mask
+    edge_use: dict[tuple[str, str], int] = {}
+    for label, blk in blocks.items():
+        gen[label], kill[label], phi_defs[label] = _block_masks(blk, index)
+        for phi in blk.phis():
+            for pred, value in phi.incoming.items():
+                if isinstance(value, (VReg, PReg)):
+                    key = (pred, label)
+                    edge_use[key] = edge_use.get(key, 0) | index.bit_of(value)
+
+    live_in: dict[str, int] = {label: 0 for label in blocks}
+    live_out: dict[str, int] = {label: 0 for label in blocks}
+
+    # Postorder seeding converges a backward problem fastest; blocks are
+    # re-queued only when a successor's live-in actually changes.
+    order = cfg.postorder()
+    preds = cfg.preds
+    succs = cfg.succs
+    pending = deque(order)
+    queued = set(order)
+    while pending:
+        label = pending.popleft()
+        queued.discard(label)
+        out = 0
+        for succ in succs[label]:
+            out |= live_in[succ] & ~phi_defs[succ]
+            out |= edge_use.get((label, succ), 0)
+        new_in = (gen[label] | (out & ~kill[label])) & ~phi_defs[label]
+        live_out[label] = out
+        if new_in != live_in[label]:
+            live_in[label] = new_in
+            for pred in preds[label]:
+                if pred not in queued:
+                    queued.add(pred)
+                    pending.append(pred)
+
+    result = Liveness(index=index, live_in_mask=live_in,
+                      live_out_mask=live_out)
+    set_of = index.set_of
+    for label, blk in blocks.items():
+        result.live_in[label] = set_of(live_in[label])
+        result.live_out[label] = set_of(live_out[label])
+        result.use[label] = set_of(gen[label])
+        result.defs[label] = set_of(kill[label])
+    return result
+
+
+def compute_liveness_reference(
+    func: Function, cfg: CFG | None = None
+) -> Liveness:
+    """The direct set-based fixed point (oracle for the bitset kernel)."""
     if cfg is None:
         cfg = build_cfg(func)
     blocks = func.block_map()
@@ -112,20 +216,61 @@ def compute_liveness(func: Function, cfg: CFG | None = None) -> Liveness:
     return result
 
 
+def instruction_liveness_masks(
+    func: Function, liveness: Liveness
+) -> tuple[RegisterIndex, dict[int, int]]:
+    """Live masks *after* each instruction, keyed by ``id(instr)``.
+
+    Requires a :func:`compute_liveness`-built ``liveness`` (one carrying
+    the dense index and mask tables).
+    """
+    index = liveness.index
+    assert index is not None, "liveness was not built by compute_liveness"
+    bit_of = index.bit_of
+    out_mask = liveness.live_out_mask
+    after: dict[int, int] = {}
+    for blk in func.blocks:
+        live = out_mask[blk.label]
+        for instr in reversed(blk.instrs):
+            after[id(instr)] = live
+            for d in instr.defs():
+                if isinstance(d, (VReg, PReg)):
+                    live &= ~bit_of(d)
+            if not isinstance(instr, Phi):
+                for u in instr.uses():
+                    if isinstance(u, (VReg, PReg)):
+                        live |= bit_of(u)
+    return index, after
+
+
 def instruction_liveness(
     func: Function, liveness: Liveness
 ) -> dict[int, set[Register]]:
     """Live sets *after* each instruction, keyed by ``id(instr)``.
 
     One backward scan per block; used by the interference builder and by
-    the cycle evaluator's call-crossing accounting.
+    the cycle evaluator's call-crossing accounting.  Identical masks
+    share one materialized set (consumers treat the sets as read-only).
     """
-    after: dict[int, set[Register]] = {}
-    for blk in func.blocks:
-        live = set(liveness.live_out[blk.label])
-        for instr in reversed(blk.instrs):
-            after[id(instr)] = set(live)
-            live -= _regs(instr.defs())
-            if not isinstance(instr, Phi):
-                live |= _regs(instr.uses())
-    return after
+    if liveness.index is None:
+        # Hand-built Liveness (tests): fall back to the set formulation.
+        after_sets: dict[int, set[Register]] = {}
+        for blk in func.blocks:
+            live = set(liveness.live_out[blk.label])
+            for instr in reversed(blk.instrs):
+                after_sets[id(instr)] = set(live)
+                live -= _regs(instr.defs())
+                if not isinstance(instr, Phi):
+                    live |= _regs(instr.uses())
+        return after_sets
+
+    index, after = instruction_liveness_masks(func, liveness)
+    set_of = index.set_of
+    cache: dict[int, set[Register]] = {}
+    out: dict[int, set[Register]] = {}
+    for key, mask in after.items():
+        materialized = cache.get(mask)
+        if materialized is None:
+            materialized = cache[mask] = set_of(mask)
+        out[key] = materialized
+    return out

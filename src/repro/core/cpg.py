@@ -153,77 +153,97 @@ def build_cpg(
     ``wig_adjacency`` is the vreg-only adjacency of the interference
     graph *before* simplification removed anything (the WIG); ``graph``
     supplies K and the fixed physical-register degree offsets.
-    """
-    k = graph.k
-    preg_degree = {
-        node: sum(1 for n in graph.adj.get(node, ()) if not isinstance(n, VReg))
-        for node in wig_adjacency
-    }
-    remaining: dict[VReg, set[VReg]] = {
-        node: set(neigh) for node, neigh in wig_adjacency.items()
-    }
 
-    def wig_degree(node: VReg) -> int:
-        return len(remaining[node]) + preg_degree.get(node, 0)
+    The replay runs over dense-id bitmasks: the WIG adjacency becomes
+    one int row per node, "degree" a popcount against the alive mask,
+    and the step-7 transitivity test a single ``&`` against an
+    incrementally-maintained reachability closure.  The closure stays
+    exact because a node's out-edges are complete before any in-edge is
+    added to it — in-edges to ``X`` appear only at ``X``'s own pop, after
+    which ``X`` (removed from the WIG) never gains another successor.
+    """
+    from repro.analysis.indexing import iter_bits
+
+    k = graph.k
+    # Dense ids in ascending-vreg-id order, mirroring the step-4 walk.
+    nodes: list[VReg] = sorted(wig_adjacency, key=lambda v: v.id)
+    idx = {node: i for i, node in enumerate(nodes)}
+    n = len(nodes)
+    bottom_bit = 1 << n
+    adj = [0] * n
+    preg_deg = [0] * n
+    for node, neigh in wig_adjacency.items():
+        i = idx[node]
+        mask = 0
+        for w in neigh:
+            mask |= 1 << idx[w]
+        adj[i] = mask
+        preg_deg[i] = sum(
+            1 for x in graph.adj.get(node, ()) if not isinstance(x, VReg)
+        )
 
     cpg = ColoringPrecedenceGraph()
     cpg.ensure(TOP)
     cpg.ensure(BOTTOM)
-    ready: set[VReg] = set()
-    created: set[VReg] = set()
+    alive = (1 << n) - 1
+    ready = 0
+    created = 0
+    #: per-node mask of CPG-reachable nodes (dense ids plus the bottom bit)
+    reach = [0] * n
 
     # Step 4: initial low-degree nodes point at bottom and are ready;
     # potential-spill nodes point at bottom but are not ready.
-    for node in sorted(remaining, key=lambda v: v.id):
-        if wig_degree(node) < k:
+    optimistic = simplification.optimistic
+    for i, node in enumerate(nodes):
+        if (adj[i] & alive).bit_count() + preg_deg[i] < k:
             cpg.add_edge(node, BOTTOM)
-            created.add(node)
-            ready.add(node)
-        elif node in simplification.optimistic:
+            reach[i] |= bottom_bit
+            created |= 1 << i
+            ready |= 1 << i
+        elif node in optimistic:
             cpg.add_edge(node, BOTTOM)
-            created.add(node)
+            reach[i] |= bottom_bit
+            created |= 1 << i
 
     # Steps 5-9: replay removals in simplification order.
     for popped in simplification.stack:
-        if popped not in remaining:
+        pi = idx.get(popped)
+        if pi is None or not (alive >> pi) & 1:
             raise AllocationError(f"stack node {popped} missing from WIG")
-        if popped not in created:
+        if not (created >> pi) & 1:
             raise AllocationError(
                 f"CPG invariant broken: {popped} popped before being "
                 f"created (neither low-degree, optimistic, nor a neighbor "
                 f"of an earlier pop)"
             )
-        neighbors = remaining.pop(popped)
-        for w in neighbors:
-            remaining[w].discard(popped)
+        popped_bit = 1 << pi
+        alive &= ~popped_bit
+        neighbors = adj[pi] & alive
+        created |= neighbors
+        for wi in iter_bits(neighbors):
+            cpg.ensure(nodes[wi])
 
-        non_ready = sorted((w for w in neighbors if w not in ready),
-                           key=lambda v: v.id)
-        for w in non_ready:
-            cpg.ensure(w)
-            created.add(w)
-        ready_neighbors = [w for w in neighbors if w in ready]
-        for w in ready_neighbors:
-            cpg.ensure(w)
-            created.add(w)
-
+        non_ready = neighbors & ~ready
         if non_ready:
-            for w in non_ready:
+            popped_reach = reach[pi] | popped_bit
+            popped_to_bottom = reach[pi] & bottom_bit
+            # Bit order is ascending vreg id — the step-7 edge order.
+            for wi in iter_bits(non_ready):
                 # Step 7: skip (and never create) transitive edges.
-                if not cpg.reaches(w, popped):
+                if not reach[wi] & popped_bit:
+                    w = nodes[wi]
                     cpg.add_edge(w, popped)
+                    reach[wi] |= popped_reach
                     # A pre-existing w -> bottom edge is now transitive
                     # whenever `popped` itself reaches bottom.
-                    if BOTTOM in cpg.succs.get(w, ()) and cpg.reaches(
-                        popped, BOTTOM
-                    ):
+                    if popped_to_bottom and BOTTOM in cpg.succs.get(w, ()):
                         cpg.remove_edge(w, BOTTOM)
         else:
             cpg.add_edge(TOP, popped)
 
         # Step 8: removal may have made neighbors low-degree.
-        for w in neighbors:
-            if w not in ready and wig_degree(w) < k:
-                ready.add(w)
+        for wi in iter_bits(non_ready):
+            if (adj[wi] & alive).bit_count() + preg_deg[wi] < k:
+                ready |= 1 << wi
 
     return cpg

@@ -18,6 +18,14 @@ a node whose preferences are all weaker than staying in memory
 (every ``Str < 0``) is *actively* spilled, which is how the paper avoids
 the Lueh–Gross objection to optimistic coloring (Section 5.4).
 
+Register sets are bitmasks over the class's color list: each node keeps
+an incrementally-maintained mask of colors its neighbors have claimed,
+so availability is one ``&`` instead of a neighbor scan, and preference
+screening intersects masks.  Differentials are cached and recomputed
+only for the nodes a coloring/spill event can affect (its interference
+neighbors and RPG partners) — the dominant cost of the naive selector
+was re-deriving every queued node's differential at every pick.
+
 Interpretation notes (the paper leaves these open — see DESIGN.md):
 a single honorable preference yields a differential equal to its own
 strength (memory, at strength 0, is the implicit weakest); nodes with no
@@ -28,6 +36,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.analysis.indexing import iter_bits
 from repro.core.cpg import BOTTOM, TOP, ColoringPrecedenceGraph
 from repro.core.costs import CostModel
 from repro.core.rpg import (
@@ -49,9 +58,9 @@ NEG_INF = float("-inf")
 
 @dataclass(frozen=True)
 class _Ask:
-    """One evaluable preference: a register set and its realized strength."""
+    """One evaluable preference: a register mask and its realized strength."""
 
-    regs: tuple[PReg, ...]
+    mask: int
     strength: float
     edge: PrefEdge
 
@@ -94,6 +103,29 @@ class PreferenceSelector:
     spilled: set[VReg] = field(default_factory=set)
     honored_prefs: int = 0
 
+    def __post_init__(self) -> None:
+        colors = self.graph.colors
+        self._colors = colors
+        self._color_bit: dict[PReg, int] = {
+            c: 1 << i for i, c in enumerate(colors)
+        }
+        self._all_mask = (1 << len(colors)) - 1
+        vol = 0
+        for i, c in enumerate(colors):
+            if self.machine.is_volatile(c):
+                vol |= 1 << i
+        self._vol_mask = vol
+        self._nonvol_mask = self._all_mask & ~vol
+        self._fallback = list(
+            order_colors(colors, self.regfile, self.fallback_policy)
+        )
+        #: per-node mask of colors claimed by neighbors (lazily seeded
+        #: from the current assignment, then maintained incrementally)
+        self._taken: dict[VReg, int] = {}
+        #: cached differentials, invalidated by affecting events only
+        self._diff_cache: dict[VReg, float] = {}
+        self._group_masks: dict[RegGroup, int] = {}
+
     # ------------------------------------------------------------------
 
     def run(self) -> None:
@@ -119,13 +151,17 @@ class PreferenceSelector:
     # step 2-3: node choice
 
     def _choose_node(self, queue: set[VReg]) -> VReg:
+        diff_cache = self._diff_cache
+        spill_cost = self.costs.spill_cost
         best: VReg | None = None
         best_key: tuple | None = None
         for node in queue:
-            differential = self._differential(node)
+            differential = diff_cache.get(node)
+            if differential is None:
+                differential = diff_cache[node] = self._differential(node)
             key = (
                 differential,
-                self.costs.spill_cost(node),
+                spill_cost(node),
                 -node.id,
             )
             if best_key is None or key > best_key:
@@ -134,9 +170,9 @@ class PreferenceSelector:
         return best
 
     def _differential(self, node: VReg) -> float:
-        available = self._available(node)
         honorable = [
-            ask.strength for ask in self._usable_asks(node, available)
+            ask.strength
+            for ask in self._usable_asks(node, self._free_mask(node))
         ]
         if not honorable:
             return NEG_INF
@@ -144,36 +180,58 @@ class PreferenceSelector:
             return honorable[0]
         return max(honorable) - min(honorable)
 
-    def _available(self, node: VReg) -> list[PReg]:
-        forbidden: set[PReg] = set()
-        for n in self.graph.all_neighbors(node):
-            if isinstance(n, PReg):
-                forbidden.add(n)
-            elif n in self.assignment:
-                forbidden.add(self.assignment[n])
-        return [c for c in self.graph.colors if c not in forbidden]
+    def _free_mask(self, node: VReg) -> int:
+        """Mask of colors no (colored or physical) neighbor holds."""
+        taken = self._taken.get(node)
+        if taken is None:
+            taken = 0
+            color_bit = self._color_bit
+            assignment = self.assignment
+            for n in self.graph.all_neighbors(node):
+                if isinstance(n, PReg):
+                    taken |= color_bit.get(n, 0)
+                else:
+                    c = assignment.get(n)
+                    if c is not None:
+                        taken |= color_bit[c]
+            self._taken[node] = taken
+        return self._all_mask & ~taken
 
-    def _usable_asks(self, node: VReg, available: list[PReg]) -> list[_Ask]:
-        """Steps 2.1/2.2 as concrete *asks*: (register set, strength).
+    def _available(self, node: VReg) -> list[PReg]:
+        colors = self._colors
+        return [colors[i] for i in iter_bits(self._free_mask(node))]
+
+    def _group_mask(self, group: RegGroup) -> int:
+        mask = self._group_masks.get(group)
+        if mask is None:
+            color_bit = self._color_bit
+            mask = 0
+            for reg in group.regs:
+                mask |= color_bit.get(reg, 0)
+            self._group_masks[group] = mask
+        return mask
+
+    def _usable_asks(self, node: VReg, avail_mask: int) -> list[_Ask]:
+        """Steps 2.1/2.2 as concrete *asks*: (register mask, strength).
 
         Outgoing edges whose target is colored (or physical / a group)
         ask directly.  Incoming live-range edges whose *source* is
         already colored also ask — that is the deferred coalescence /
         pairing being resolved from the other end.  Unhonorable asks
-        (empty intersection with ``available``) are eliminated.
+        (empty intersection with the available mask) are eliminated.
         """
         asks: list[_Ask] = []
         for edge in self.rpg.edges_from(node):
             if self._unresolved(edge.target):
                 continue  # step 2.2: deferred, revisited in step 4.3
-            ask = self._ask_of_outgoing(edge, available)
+            ask = self._ask_of_outgoing(edge, avail_mask)
             if ask is not None:
                 asks.append(ask)
         for edge in self.rpg.edges_to(node):
             source_color = self.assignment.get(edge.src)
             if source_color is None:
                 continue
-            ask = self._ask_of_incoming(edge, source_color, available)
+            ask = self._ask_of_incoming(edge, source_color, avail_mask)
             if ask is not None:
                 asks.append(ask)
         return asks
@@ -186,24 +244,34 @@ class PreferenceSelector:
             and target not in self.spilled
         )
 
+    def _strength_for_mask(self, edge: PrefEdge, mask: int) -> float:
+        """Best realized strength over the registers of ``mask``."""
+        strength = NEG_INF
+        if mask & self._vol_mask:
+            strength = edge.strength.vol
+        if mask & self._nonvol_mask:
+            nonvol = edge.strength.nonvol
+            if nonvol > strength:
+                strength = nonvol
+        return strength
+
     def _ask_of_outgoing(self, edge: PrefEdge,
-                         available: list[PReg]) -> "_Ask | None":
+                         avail_mask: int) -> "_Ask | None":
         if isinstance(edge.target, RegGroup):
-            regs = [c for c in available if c in edge.target.regs]
-            if not regs:
+            mask = avail_mask & self._group_mask(edge.target)
+            if not mask:
                 return None
-            strength = max(
-                edge.strength.for_reg(self.machine, r) for r in regs
-            )
-            return _Ask(tuple(regs), strength, edge)
+            return _Ask(mask, self._strength_for_mask(edge, mask), edge)
         wanted = self._resolve_target_register(edge.kind, edge.target)
-        if wanted is None or wanted not in available:
+        if wanted is None:
             return None
-        return _Ask((wanted,), edge.strength.for_reg(self.machine, wanted),
-                    edge)
+        bit = self._color_bit.get(wanted, 0)
+        if not bit & avail_mask:
+            return None
+        return _Ask(bit, self._strength_for_mask(edge, bit), edge)
 
     def _ask_of_incoming(self, edge: PrefEdge, source_color: PReg,
-                         available: list[PReg]) -> "_Ask | None":
+                         avail_mask: int) -> "_Ask | None":
         """What an already-colored source wants *this* node to take."""
         if edge.kind is PrefKind.COALESCE:
             wanted: PReg | None = source_color
@@ -215,10 +283,13 @@ class PreferenceSelector:
             wanted = self.regfile.next_reg(source_color)
         else:
             return None
-        if wanted is None or wanted not in available:
+        if wanted is None:
             return None
-        return _Ask((wanted,),
-                    edge.strength.for_reg(self.machine, source_color), edge)
+        bit = self._color_bit.get(wanted, 0)
+        if not bit & avail_mask:
+            return None
+        source_bit = self._color_bit.get(source_color, 0)
+        return _Ask(bit, self._strength_for_mask(edge, source_bit), edge)
 
     def _resolve_target_register(self, kind: PrefKind,
                                  target) -> PReg | None:
@@ -241,37 +312,61 @@ class PreferenceSelector:
     # step 4: register choice
 
     def _color_node(self, node: VReg) -> None:
-        available = self._available(node)
-        if not available:
+        free = self._free_mask(node)
+        if not free:
             self._spill(node, reason="no register available")
+            self._after_decision(node, None)
             return
-        asks = self._usable_asks(node, available)
+        asks = self._usable_asks(node, free)
         if self.active_memory_spill and not node.no_spill \
                 and self._prefers_memory(
-                    node, available, [a.strength for a in asks]
+                    node, free, [a.strength for a in asks]
                 ):
             # Section 5.4: strongest preference is memory.
             self._spill(node, reason="prefers memory")
+            self._after_decision(node, None)
             return
 
-        candidates = list(available)
+        candidates = free
         for ask in sorted(asks, key=lambda a: -a.strength):
-            screened = [c for c in candidates if c in ask.regs]
+            screened = candidates & ask.mask
             if screened:
                 candidates = screened
                 self.honored_prefs += 1
 
         candidates = self._respect_deferred(node, candidates)
+        color_bit = self._color_bit
         color = next(
-            c for c in order_colors(self.graph.colors, self.regfile,
-                                    self.fallback_policy)
-            if c in candidates
+            c for c in self._fallback if color_bit[c] & candidates
         )
         self.assignment[node] = color
+        self._after_decision(node, color)
         if self.trace is not None:
-            self.trace.note(f"{node} -> {color} (of {len(available)} free)")
+            self.trace.note(f"{node} -> {color} (of {free.bit_count()} free)")
 
-    def _prefers_memory(self, node: VReg, available: list[PReg],
+    def _after_decision(self, node: VReg, color: PReg | None) -> None:
+        """Incremental bookkeeping after ``node`` was colored or spilled.
+
+        Neighbors lose ``color`` from their free mask; the nodes whose
+        differential the event can change — interference neighbors and
+        RPG partners on either side — drop out of the cache.
+        """
+        diff_cache = self._diff_cache
+        diff_cache.pop(node, None)
+        taken = self._taken
+        bit = self._color_bit[color] if color is not None else 0
+        for n in self.graph.all_neighbors(node):
+            if bit and n in taken:
+                taken[n] |= bit
+            diff_cache.pop(n, None)
+        for edge in self.rpg.edges_to(node):
+            diff_cache.pop(edge.src, None)
+        for edge in self.rpg.edges_from(node):
+            target = edge.target
+            if isinstance(target, VReg):
+                diff_cache.pop(target, None)
+
+    def _prefers_memory(self, node: VReg, free: int,
                         pref_strengths: list[float]) -> bool:
         """Is the strongest preference "be located in memory"?
 
@@ -282,38 +377,40 @@ class PreferenceSelector:
         memory wins — a plain non-volatile placement may still beat it.
         """
         best = max(pref_strengths, default=NEG_INF)
-        if any(self.machine.is_volatile(r) for r in available):
+        if free & self._vol_mask:
             best = max(best, self.costs.strength_volatile(node))
-        if any(not self.machine.is_volatile(r) for r in available):
+        if free & self._nonvol_mask:
             best = max(best, self.costs.strength_nonvolatile(node))
         return best < 0.0
 
-    def _respect_deferred(
-        self, node: VReg, candidates: list[PReg]
-    ) -> list[PReg]:
+    def _respect_deferred(self, node: VReg, candidates: int) -> int:
         """Step 4.3: keep registers that leave deferred partners a chance."""
+        colors = self._colors
+        color_bit = self._color_bit
         for edge in self.rpg.edges_from(node):
             if not self._unresolved(edge.target):
                 continue
             partner = edge.target
             assert isinstance(partner, VReg)
-            partner_free = set(self._available(partner))
-            keep = [
-                c for c in candidates
-                if self._partner_register(edge.kind, c, outgoing=True)
-                in partner_free
-            ]
+            partner_free = self._free_mask(partner)
+            keep = 0
+            for i in iter_bits(candidates):
+                mine = self._partner_register(edge.kind, colors[i],
+                                              outgoing=True)
+                if mine is not None and color_bit.get(mine, 0) & partner_free:
+                    keep |= 1 << i
             if keep:
                 candidates = keep
         for edge in self.rpg.edges_to(node):
             if not self._unresolved(edge.src):
                 continue
-            partner_free = set(self._available(edge.src))
-            keep = [
-                c for c in candidates
-                if self._partner_register(edge.kind, c, outgoing=False)
-                in partner_free
-            ]
+            partner_free = self._free_mask(edge.src)
+            keep = 0
+            for i in iter_bits(candidates):
+                mine = self._partner_register(edge.kind, colors[i],
+                                              outgoing=False)
+                if mine is not None and color_bit.get(mine, 0) & partner_free:
+                    keep |= 1 << i
             if keep:
                 candidates = keep
         return candidates

@@ -11,7 +11,7 @@ Registers carry a :class:`RegClass`; the allocator never mixes classes.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 __all__ = ["RegClass", "VReg", "PReg", "Const", "Value", "Register"]
 
@@ -21,6 +21,12 @@ class RegClass(enum.Enum):
 
     INT = "int"
     FLOAT = "float"
+
+    # Enum's default __hash__ hashes the member *name* string on every
+    # call; registers and class-keyed tables are hashed millions of times
+    # per allocation, so use the identity hash (members are singletons,
+    # and Enum equality is already identity).
+    __hash__ = object.__hash__
 
     def prefix(self) -> str:
         """Printer prefix for registers of this class (``v``/``f``)."""
@@ -43,6 +49,22 @@ class VReg:
     rclass: RegClass = RegClass.INT
     name: str | None = None
     no_spill: bool = False
+    #: precomputed hash; register hashing dominates set/dict operations in
+    #: the allocator, and the value is an integer function of the identity
+    #: fields so hashing (and set iteration order) is process-independent
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "_hash",
+            (self.id << 3)
+            | (4 if self.rclass is RegClass.FLOAT else 0)
+            | (2 if self.no_spill else 0),
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __str__(self) -> str:
         base = f"%{self.name}" if self.name else f"%{self.rclass.prefix()}{self.id}"
@@ -59,6 +81,20 @@ class PReg:
     index: int
     rclass: RegClass = RegClass.INT
     name: str | None = None
+    #: precomputed, process-independent hash (bit 0 set: disjoint from VReg)
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "_hash",
+            (self.index << 3)
+            | (4 if self.rclass is RegClass.FLOAT else 0)
+            | 1,
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __str__(self) -> str:
         if self.name:

@@ -31,10 +31,12 @@ from repro.target.machine import TargetMachine
 __all__ = [
     "RoundContext",
     "RoundOutcome",
+    "RoundAnalyses",
     "Allocator",
     "AllocationStats",
     "AllocationResult",
     "allocate_function",
+    "compute_round_analyses",
 ]
 
 
@@ -90,6 +92,61 @@ class RoundOutcome:
             return self.assignment[node]
         except KeyError:
             raise AllocationError(f"no color for {reg} (rep {node})") from None
+
+
+@dataclass(eq=False)
+class RoundAnalyses:
+    """The per-round analyses of a renumbered function, cacheable.
+
+    Renumbering is deterministic, so the round-0 analyses of any clone of
+    a prepared function are value-identical: the CFG and loop nest are
+    register-free, and liveness, interference adjacency, and spill costs
+    are keyed by (immutable, value-hashed) registers.  The one exception
+    is the interference graph's *move list*, which holds the analyzed
+    clone's instruction objects; :meth:`ig_for` substitutes the consuming
+    clone's own ``Move`` instructions (consumers key frequency/liveness
+    tables by ``id(instr)``).
+    """
+
+    cfg: CFG
+    loops: LoopInfo
+    liveness: Liveness
+    ig: InterferenceGraph
+    spill_costs: dict[VReg, float]
+
+    def ig_for(self, func: Function) -> InterferenceGraph | None:
+        """The cached graph rebased onto ``func``'s own move instructions.
+
+        Returns None when ``func``'s moves do not match the analyzed
+        clone's (deterministic renumbering makes that unreachable, but a
+        None return lets the caller fall back to a fresh analysis rather
+        than silently misattribute move costs).
+        """
+        moves = [
+            instr
+            for blk in func.blocks
+            for instr in reversed(blk.instrs)
+            if isinstance(instr, Move)
+        ]
+        ref = self.ig.moves
+        if len(moves) != len(ref) or any(
+            a.dst != b.dst or a.src != b.src for a, b in zip(moves, ref)
+        ):
+            return None
+        # The adjacency dict is shared (read-only to every allocator);
+        # the fresh instance keeps per-use caches (nodes_by_class) local.
+        return InterferenceGraph(adjacency=self.ig.adjacency, moves=moves)
+
+
+def compute_round_analyses(func: Function) -> RoundAnalyses:
+    """Analyze one (already renumbered) function for an allocation round."""
+    cfg = build_cfg(func)
+    loops = compute_loops(cfg)
+    liveness = compute_liveness(func, cfg)
+    ig = build_interference(func, cfg, liveness)
+    spill_costs = compute_spill_costs(func, loops, cfg)
+    return RoundAnalyses(cfg=cfg, loops=loops, liveness=liveness, ig=ig,
+                         spill_costs=spill_costs)
 
 
 class Allocator(abc.ABC):
@@ -178,11 +235,16 @@ def allocate_function(
     allocator: Allocator,
     max_rounds: int = 64,
     rematerialize: bool = False,
+    round0: RoundAnalyses | None = None,
 ) -> AllocationResult:
     """Run ``allocator`` on ``func`` to completion (in place).
 
     ``rematerialize=True`` re-emits single-constant spilled live ranges
     instead of storing/reloading them (Briggs-style rematerialization).
+
+    ``round0`` supplies precomputed first-round analyses (from
+    :func:`compute_round_analyses` on a renumbered clone of the same
+    prepared function); spill rounds always re-analyze.
     """
     stats = AllocationStats(allocator=allocator.name)
     loops_for_count = compute_loops(build_cfg(func))
@@ -195,19 +257,25 @@ def allocate_function(
     for round_index in range(max_rounds):
         stats.rounds = round_index + 1
         renumber(func)
-        cfg = build_cfg(func)
-        loops = compute_loops(cfg)
-        liveness = compute_liveness(func, cfg)
-        ig = build_interference(func, cfg, liveness)
-        spill_costs = compute_spill_costs(func, loops, cfg)
+        analyses = None
+        if round_index == 0 and round0 is not None:
+            ig = round0.ig_for(func)
+            if ig is not None:
+                analyses = RoundAnalyses(
+                    cfg=round0.cfg, loops=round0.loops,
+                    liveness=round0.liveness, ig=ig,
+                    spill_costs=round0.spill_costs,
+                )
+        if analyses is None:
+            analyses = compute_round_analyses(func)
         ctx = RoundContext(
             func=func,
             machine=machine,
-            cfg=cfg,
-            loops=loops,
-            liveness=liveness,
-            ig=ig,
-            spill_costs=spill_costs,
+            cfg=analyses.cfg,
+            loops=analyses.loops,
+            liveness=analyses.liveness,
+            ig=analyses.ig,
+            spill_costs=analyses.spill_costs,
             round_index=round_index,
         )
         outcome = allocator.allocate_round(ctx)

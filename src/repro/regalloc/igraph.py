@@ -147,18 +147,28 @@ class AllocGraph:
         self.members.pop(gone, None)
 
         self.active.remove(gone)
+        kept_adj = self.adj.setdefault(kept, set())
         for n in list(self.adj.get(gone, ())):
             self.adj[n].discard(gone)
             if n == kept:
+                # `kept` lost the (unusual) edge to `gone` itself.
+                if isinstance(kept, VReg):
+                    self._degree[kept] -= 1
+                kept_adj.discard(gone)
                 continue
-            self.add_edge(kept, n)
-            # `gone` left the graph: neighbors not shared with `kept`
-            # keep their degree via the new edge; shared ones lose one.
-            if isinstance(n, VReg) and n in self.active:
-                self._degree[n] = len(self.neighbors(n))
+            # `gone` left the graph: a neighbor shared with `kept` loses
+            # one active neighbor outright; an unshared one trades the
+            # edge to `gone` for a new edge to `kept` (add_edge already
+            # bumps both endpoint degrees), so it loses the `gone` count.
+            if n in kept_adj:
+                if isinstance(n, VReg) and n in self.active:
+                    self._degree[n] -= 1
+            else:
+                self.add_edge(kept, n)
+                if isinstance(n, VReg) and n in self.active:
+                    self._degree[n] -= 1
         self.adj[gone] = set()
         if isinstance(kept, VReg):
-            self._degree[kept] = len(self.neighbors(kept))
             cost = self.spill_costs.get(kept, 0.0) + self.spill_costs.get(
                 gone, 0.0
             )
@@ -204,22 +214,19 @@ def build_alloc_graph(
         colors=regfile.regs,
         spill_costs=dict(spill_costs or {}),
     )
-    for node in ig.nodes():
-        if node.rclass is not rclass:
-            continue
-        graph.adj.setdefault(node, set())
+    # Pre-partitioned projection: only this class's nodes are visited,
+    # and every vreg starts active, so its degree is just its row size
+    # (interference edges never cross classes).
+    class_nodes = ig.nodes_by_class().get(rclass, [])
+    for node in class_nodes:
+        row = set(ig.neighbors(node))
+        graph.adj[node] = row
         if isinstance(node, VReg):
             graph.active.add(node)
             graph.members[node] = {node}
+            graph._degree[node] = len(row)
     for preg in regfile.regs:
         graph.adj.setdefault(preg, set())
-    for node in list(graph.adj):
-        for n in ig.neighbors(node):
-            if n.rclass is rclass:
-                graph.adj.setdefault(node, set()).add(n)
-                graph.adj.setdefault(n, set()).add(node)
-    for node in graph.active:
-        graph._degree[node] = len(graph.neighbors(node))
     for mv in ig.moves:
         if mv.dst.rclass is not rclass:
             continue

@@ -1,0 +1,32 @@
+"""Target machine descriptions and calling-convention lowering.
+
+The paper evaluates three "register usage models" (16/24/32 registers per
+class, Section 6.2) plus the tiny three-register machine of Figure 7.
+:mod:`repro.target.machine` defines the data model, :mod:`~repro.target.presets`
+the concrete machines, and :mod:`~repro.target.lowering` the pass that
+pins parameters, call arguments, and return values to the convention's
+physical registers — the source of every *dedicated register* preference.
+"""
+
+from repro.target.lowering import lower_function
+from repro.target.machine import RegisterFile, TargetMachine
+from repro.target.presets import (
+    PRESSURE_MODELS,
+    figure7_machine,
+    high_pressure,
+    low_pressure,
+    make_machine,
+    middle_pressure,
+)
+
+__all__ = [
+    "RegisterFile",
+    "TargetMachine",
+    "lower_function",
+    "make_machine",
+    "figure7_machine",
+    "high_pressure",
+    "middle_pressure",
+    "low_pressure",
+    "PRESSURE_MODELS",
+]

@@ -1,0 +1,126 @@
+"""Calling-convention lowering.
+
+Rewrites a phi-free function so the convention's physical registers are
+explicit — the pass that *creates* the dedicated-register preferences:
+
+* each used parameter arrives as ``Move(param_vreg, param_preg)`` at the
+  top of the entry block;
+* each call's arguments move into the parameter registers (constants are
+  materialized first); the call records them in ``reg_uses``.  A call
+  clobbers the return register of its result class (the int return
+  register when it returns nothing), recorded in ``reg_defs``; a result
+  is copied out of that register right after the call;
+* ``ret v`` becomes a move of ``v`` into the return register plus a bare
+  ``ret`` keeping that register live to the exit (``reg_uses``).
+
+Lowering is idempotent per call/ret (already-lowered instructions are
+left alone), runs in place, and raises :class:`TargetError` on phis or
+on calls whose argument count exceeds the convention's parameter
+registers.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TargetError
+from repro.ir.function import Function
+from repro.ir.instructions import Call, ConstInst, Instruction, Move, Phi, Ret
+from repro.ir.values import Const, PReg, RegClass, Register, VReg
+from repro.target.machine import TargetMachine
+
+__all__ = ["lower_function", "lower_module"]
+
+
+def lower_function(func: Function, machine: TargetMachine) -> Function:
+    """Apply ``machine``'s calling convention to ``func`` in place."""
+    for blk in func.blocks:
+        if blk.phis():
+            raise TargetError(
+                f"{func.name}/{blk.label}: cannot lower a function with "
+                f"phis; run out-of-SSA first"
+            )
+    _lower_params(func, machine)
+    for blk in func.blocks:
+        out: list[Instruction] = []
+        for instr in blk.instrs:
+            if isinstance(instr, Call) and not instr.lowered:
+                _lower_call(func, machine, instr, out)
+            elif isinstance(instr, Ret) and instr.src is not None:
+                _lower_ret(machine, instr, out)
+            else:
+                out.append(instr)
+        blk.instrs = out
+    return func
+
+
+def lower_module(module, machine: TargetMachine):
+    """Lower every function of a module in place."""
+    for func in module.functions:
+        lower_function(func, machine)
+    return module
+
+
+# ----------------------------------------------------------------------
+
+
+def _used_registers(func: Function) -> set[Register]:
+    used: set[Register] = set()
+    for _, instr in func.instructions():
+        used.update(instr.used_regs())
+    return used
+
+
+def _lower_params(func: Function, machine: TargetMachine) -> None:
+    """Entry moves from the parameter registers into the param vregs."""
+    used = _used_registers(func)
+    counters: dict[RegClass, int] = {}
+    moves: list[Instruction] = []
+    for param in func.params:
+        index = counters.get(param.rclass, 0)
+        counters[param.rclass] = index + 1
+        if param not in used:
+            continue  # dead parameter: no move, but the slot is consumed
+        preg = machine.param_reg(index, param.rclass)
+        moves.append(Move(param, preg))
+    func.entry.instrs[0:0] = moves
+
+
+def _lower_call(func: Function, machine: TargetMachine, call: Call,
+                out: list[Instruction]) -> None:
+    """Marshal arguments / result through the convention registers."""
+    counters: dict[RegClass, int] = {}
+    reg_uses: list[PReg] = []
+    for arg in call.args:
+        if isinstance(arg, Const):
+            temp = func.new_vreg(arg.rclass)
+            out.append(ConstInst(temp, arg.value))
+            arg = temp
+        index = counters.get(arg.rclass, 0)
+        counters[arg.rclass] = index + 1
+        preg = machine.param_reg(index, arg.rclass)
+        out.append(Move(preg, arg))
+        reg_uses.append(preg)
+
+    dst = call.dst
+    ret_class = dst.rclass if dst is not None else RegClass.INT
+    return_reg = machine.file(ret_class).return_reg
+    call.args = []
+    call.dst = None
+    call.reg_uses = reg_uses
+    call.reg_defs = [return_reg]
+    out.append(call)
+    if dst is not None:
+        out.append(Move(dst, return_reg))
+
+
+def _lower_ret(machine: TargetMachine, ret: Ret,
+               out: list[Instruction]) -> None:
+    """Route the return value through the return register."""
+    src = ret.src
+    return_reg = machine.file(src.rclass).return_reg
+    if isinstance(src, Const):
+        out.append(ConstInst(return_reg, src.value))
+    else:
+        out.append(Move(return_reg, src))
+    ret.src = None
+    ret.reg_uses = [return_reg]
+    out.append(ret)

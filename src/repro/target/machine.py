@@ -1,0 +1,168 @@
+"""Target machine descriptions.
+
+A :class:`TargetMachine` is one register file per
+:class:`~repro.ir.values.RegClass` plus the capability flags the
+preference types depend on (paired loads, byte-capable subsets).  The
+files carry the calling convention — which registers are volatile
+(caller-saved), which receive parameters, which returns the result —
+because that convention is what creates the *dedicated* (type 1) and
+*preferred* (type 3) register preferences of Section 3.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TargetError
+from repro.ir.values import PReg, RegClass
+
+__all__ = ["RegisterFile", "TargetMachine"]
+
+
+@dataclass(frozen=True)
+class RegisterFile:
+    """One architectural register class and its conventions."""
+
+    rclass: RegClass
+    #: all registers of the class, in index order (the color set is total)
+    regs: tuple[PReg, ...]
+    #: caller-saved registers (must be ⊆ regs)
+    volatile: frozenset[PReg]
+    #: registers receiving the first arguments (must be volatile)
+    param_regs: tuple[PReg, ...]
+    #: register carrying the return value
+    return_reg: PReg
+    #: subset that can receive a byte load without zero-extension
+    #: (empty = no restriction, i.e. no type-2 preference on this file)
+    byte_load_regs: frozenset[PReg] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        members = set(self.regs)
+        if len(members) != len(self.regs):
+            raise TargetError(f"{self.rclass.value} file repeats registers")
+        for name, group in (
+            ("volatile", self.volatile),
+            ("param", self.param_regs),
+            ("byte-load", self.byte_load_regs),
+        ):
+            stray = [r for r in group if r not in members]
+            if stray:
+                raise TargetError(
+                    f"{self.rclass.value} file: {name} registers {stray} "
+                    f"not in the file"
+                )
+        if self.return_reg not in members:
+            raise TargetError(
+                f"{self.rclass.value} file: return register "
+                f"{self.return_reg} not in the file"
+            )
+        nonvol = [r for r in self.param_regs if r not in self.volatile]
+        if nonvol:
+            raise TargetError(
+                f"{self.rclass.value} file: parameter registers {nonvol} "
+                f"must be volatile (caller-saved)"
+            )
+        for reg in self.regs:
+            if reg.rclass is not self.rclass:
+                raise TargetError(
+                    f"{self.rclass.value} file contains {reg} of class "
+                    f"{reg.rclass.value}"
+                )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def k(self) -> int:
+        """Number of colors (K in the coloring literature)."""
+        return len(self.regs)
+
+    @property
+    def nonvolatile(self) -> frozenset[PReg]:
+        """Callee-saved registers (the file minus the volatile subset)."""
+        return frozenset(r for r in self.regs if r not in self.volatile)
+
+    def is_volatile(self, reg: PReg) -> bool:
+        return reg in self.volatile
+
+    def by_index(self, index: int) -> PReg | None:
+        """The file's register with architectural index ``index``."""
+        for reg in self.regs:
+            if reg.index == index:
+                return reg
+        return None
+
+    def next_reg(self, reg: PReg) -> PReg | None:
+        """The register with index+1 (for sequential/paired preferences)."""
+        return self.by_index(reg.index + 1)
+
+    def prev_reg(self, reg: PReg) -> PReg | None:
+        """The register with index-1."""
+        return self.by_index(reg.index - 1)
+
+    def describe(self) -> str:
+        vol = ",".join(str(r) for r in sorted(self.volatile,
+                                              key=lambda r: r.index))
+        nonvol = ",".join(str(r) for r in sorted(self.nonvolatile,
+                                                 key=lambda r: r.index))
+        params = ",".join(str(r) for r in self.param_regs)
+        parts = [
+            f"{self.rclass.value}: K={self.k}",
+            f"volatile [{vol}]",
+            f"non-volatile [{nonvol}]",
+            f"params [{params}]",
+            f"return {self.return_reg}",
+        ]
+        if self.byte_load_regs:
+            byte = ",".join(str(r) for r in sorted(self.byte_load_regs,
+                                                   key=lambda r: r.index))
+            parts.append(f"byte-capable [{byte}]")
+        return "  ".join(parts)
+
+
+@dataclass(frozen=True, eq=False)
+class TargetMachine:
+    """A machine: one register file per class, plus capability flags."""
+
+    name: str
+    files: dict[RegClass, RegisterFile]
+    #: does the target fuse adjacent-destination load pairs (type 4)?
+    has_paired_loads: bool = True
+
+    def __post_init__(self) -> None:
+        for rclass, regfile in self.files.items():
+            if regfile.rclass is not rclass:
+                raise TargetError(
+                    f"machine {self.name}: file registered under "
+                    f"{rclass.value} describes {regfile.rclass.value}"
+                )
+
+    def file(self, rclass: RegClass) -> RegisterFile:
+        try:
+            return self.files[rclass]
+        except KeyError:
+            raise TargetError(
+                f"machine {self.name} has no {rclass.value} register file"
+            ) from None
+
+    def k(self, rclass: RegClass) -> int:
+        return self.file(rclass).k
+
+    def is_volatile(self, reg: PReg) -> bool:
+        return self.file(reg.rclass).is_volatile(reg)
+
+    def param_reg(self, index: int, rclass: RegClass) -> PReg:
+        """The physical register carrying argument ``index`` of ``rclass``."""
+        regs = self.file(rclass).param_regs
+        if index >= len(regs):
+            raise TargetError(
+                f"machine {self.name}: no {rclass.value} register for "
+                f"argument {index} (only {len(regs)} parameter registers)"
+            )
+        return regs[index]
+
+    def describe(self) -> str:
+        lines = [f"machine {self.name} "
+                 f"(paired loads: {'yes' if self.has_paired_loads else 'no'})"]
+        for rclass in sorted(self.files, key=lambda rc: rc.value):
+            lines.append("  " + self.files[rclass].describe())
+        return "\n".join(lines)

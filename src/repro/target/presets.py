@@ -1,0 +1,111 @@
+"""The built-in machines.
+
+The paper's evaluation sweeps three *register usage models* — 16, 24 and
+32 registers per class (Section 6.2) — modeling high, middle and low
+register pressure on the same workload.  All three follow the same
+conventions, scaled to the file size:
+
+* the lower half of each file is volatile (caller-saved), the upper half
+  non-volatile (callee-saved) — "half volatile" like the paper's testbed;
+* up to eight volatile registers receive parameters;
+* the first register returns the result;
+* the first four *integer* registers can take a byte load without a
+  zero-extension (the x86-like irregularity behind type-2 preferences).
+
+``figure7_machine`` is the three-register machine the paper's worked
+example (Figure 7) assumes: r1..r3, r1/r2 volatile, r1 the argument and
+return register.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TargetError
+from repro.ir.values import PReg, RegClass
+from repro.target.machine import RegisterFile, TargetMachine
+
+__all__ = [
+    "make_machine",
+    "figure7_machine",
+    "high_pressure",
+    "middle_pressure",
+    "low_pressure",
+    "PRESSURE_MODELS",
+]
+
+#: At most this many arguments travel in registers (per class).
+MAX_PARAM_REGS = 8
+#: Size of the byte-capable subset of the integer file.
+BYTE_CAPABLE_REGS = 4
+
+
+def _make_file(rclass: RegClass, size: int) -> RegisterFile:
+    regs = tuple(PReg(i, rclass) for i in range(size))
+    half = size // 2
+    volatile = frozenset(regs[:half])
+    param_regs = regs[:min(MAX_PARAM_REGS, half)]
+    byte_regs = (
+        frozenset(regs[:min(BYTE_CAPABLE_REGS, half)])
+        if rclass is RegClass.INT else frozenset()
+    )
+    return RegisterFile(
+        rclass=rclass,
+        regs=regs,
+        volatile=volatile,
+        param_regs=param_regs,
+        return_reg=regs[0],
+        byte_load_regs=byte_regs,
+    )
+
+
+def make_machine(size: int, has_paired_loads: bool = True,
+                 name: str | None = None) -> TargetMachine:
+    """A machine with ``size`` registers per class, half of them volatile."""
+    if size < 2 or size % 2 != 0:
+        raise TargetError(
+            f"register file size must be even and >= 2, got {size}"
+        )
+    return TargetMachine(
+        name=name or f"model-{size}",
+        files={
+            RegClass.INT: _make_file(RegClass.INT, size),
+            RegClass.FLOAT: _make_file(RegClass.FLOAT, size),
+        },
+        has_paired_loads=has_paired_loads,
+    )
+
+
+def figure7_machine() -> TargetMachine:
+    """The paper's worked example: three registers r1..r3, r1/r2 volatile."""
+    r1, r2, r3 = (PReg(i, RegClass.INT) for i in (1, 2, 3))
+    intfile = RegisterFile(
+        rclass=RegClass.INT,
+        regs=(r1, r2, r3),
+        volatile=frozenset({r1, r2}),
+        param_regs=(r1, r2),
+        return_reg=r1,
+    )
+    return TargetMachine(name="figure7", files={RegClass.INT: intfile},
+                         has_paired_loads=True)
+
+
+def high_pressure() -> TargetMachine:
+    """16 registers per class — the paper's high-pressure model."""
+    return make_machine(16, name="high-pressure-16")
+
+
+def middle_pressure() -> TargetMachine:
+    """24 registers per class — the middle-pressure model."""
+    return make_machine(24, name="middle-pressure-24")
+
+
+def low_pressure() -> TargetMachine:
+    """32 registers per class — the low-pressure model."""
+    return make_machine(32, name="low-pressure-32")
+
+
+#: The evaluation's register-usage sweep, keyed as the figures label it.
+PRESSURE_MODELS = {
+    "16 regs/class (high pressure)": high_pressure,
+    "24 regs/class (middle pressure)": middle_pressure,
+    "32 regs/class (low pressure)": low_pressure,
+}
