@@ -21,6 +21,8 @@ landed; ``speedup_full`` is relative to it.
 
 import argparse
 import json
+import socket
+import subprocess
 import sys
 import time
 from pathlib import Path
@@ -74,6 +76,18 @@ def time_allocator(prepared, machine, name: str, repeats: int,
     }
 
 
+def git_commit() -> str:
+    """The HEAD commit this report was generated from (provenance)."""
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True, text=True, timeout=10, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
 def run(bench: str, model: str, allocators: list[str], repeats: int,
         jobs: int) -> dict:
     prepared, machine = prepared_module(bench, model)
@@ -83,6 +97,8 @@ def run(bench: str, model: str, allocators: list[str], repeats: int,
         "repeats": repeats,
         "jobs": jobs,
         "python": sys.version.split()[0],
+        "git_commit": git_commit(),
+        "hostname": socket.gethostname(),
         "baseline_full_s": BASELINE_FULL_S,
         "allocators": {},
     }

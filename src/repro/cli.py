@@ -3,14 +3,22 @@
 Commands:
 
 * ``alloc FILE``      — parse textual IR, run the pipeline + an allocator,
-  print the allocated code and stats.
+  print the allocated code and stats (``--json`` for the service schema).
 * ``compare FILE``    — run every allocator over one IR file and print a
   comparison table.
 * ``bench NAME``      — allocate one synthetic benchmark under all
   allocators and print the comparison (a CLI twin of
   ``examples/benchmark_tour.py``).
+* ``serve``           — run the long-lived allocation service (LDJSON
+  over TCP, or stdio with ``--stdio``).
+* ``submit``          — send one allocation request to a running server.
+* ``stats``           — fetch a running server's metrics snapshot.
 * ``example``         — replay the paper's Figure 7 with full tracing.
 * ``targets``         — describe the built-in register-usage models.
+
+``alloc``/``compare``/``bench`` accept ``--json`` and emit the same
+response schema the service speaks (``repro.service.protocol``), so
+piping the CLI and querying the server are interchangeable.
 
 The textual IR syntax is whatever ``repro.ir.printer`` emits; see
 ``README.md`` or run ``python -m repro example`` for a sample.
@@ -20,39 +28,41 @@ from __future__ import annotations
 
 import argparse
 import sys
+import uuid
+from pathlib import Path
 
-from repro.core import PreferenceConfig, PreferenceDirectedAllocator
-from repro.errors import ReproError
+from repro.core import PreferenceDirectedAllocator
+from repro.errors import ReproError, ServiceError
 from repro.ir.parser import parse_module
 from repro.ir.printer import print_function
 from repro.pipeline import allocate_module, prepare_module
-from repro.regalloc import (
-    BriggsAllocator,
-    CallCostAllocator,
-    ChaitinAllocator,
-    IteratedCoalescingAllocator,
-    OptimisticCoalescingAllocator,
-    PriorityAllocator,
-    allocate_function,
+from repro.regalloc import allocate_function
+from repro.reporting import canonical_json
+from repro.service.cache import ResultCache, default_cache_dir
+from repro.service.client import ServiceClient
+from repro.service.metrics import ServiceMetrics
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    AllocationRequest,
+    MachineSpec,
+    cycles_to_dict,
+    stats_to_dict,
 )
+from repro.service.scheduler import (
+    ALLOCATOR_FACTORIES,
+    Scheduler,
+    execute_request,
+    render_allocation,
+)
+from repro.service.server import ServerThread, serve_stdio
 from repro.sim.cycles import estimate_cycles
 from repro.target.presets import PRESSURE_MODELS, figure7_machine, make_machine
 from repro.workloads import BENCHMARK_NAMES, make_benchmark
 
 __all__ = ["main", "build_parser"]
 
-ALLOCATOR_CHOICES = {
-    "chaitin": ChaitinAllocator,
-    "briggs": BriggsAllocator,
-    "iterated": IteratedCoalescingAllocator,
-    "optimistic": OptimisticCoalescingAllocator,
-    "callcost": CallCostAllocator,
-    "priority": PriorityAllocator,
-    "only-coalescing": lambda: PreferenceDirectedAllocator(
-        PreferenceConfig.only_coalescing()
-    ),
-    "full": PreferenceDirectedAllocator,
-}
+#: One canonical allocator table, shared with the service layer.
+ALLOCATOR_CHOICES = ALLOCATOR_FACTORIES
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -69,15 +79,61 @@ def build_parser() -> argparse.ArgumentParser:
                        default="full")
     alloc.add_argument("--regs", type=int, default=24,
                        help="registers per class (default 24)")
+    alloc.add_argument("--json", action="store_true",
+                       help="emit the service response schema")
 
     compare = sub.add_parser("compare",
                              help="run every allocator over an IR file")
     compare.add_argument("file", help="textual IR file ('-' for stdin)")
     compare.add_argument("--regs", type=int, default=24)
+    compare.add_argument("--json", action="store_true",
+                         help="emit one service response per allocator")
 
     bench = sub.add_parser("bench", help="allocate a synthetic benchmark")
     bench.add_argument("name", choices=BENCHMARK_NAMES)
     bench.add_argument("--regs", type=int, default=16)
+    bench.add_argument("--json", action="store_true",
+                       help="emit one service response per allocator")
+
+    serve = sub.add_parser("serve", help="run the allocation service")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7421,
+                       help="TCP port (0 picks a free one; default 7421)")
+    serve.add_argument("--stdio", action="store_true",
+                       help="speak LDJSON on stdin/stdout instead of TCP")
+    serve.add_argument("--jobs", type=int, default=1,
+                       help="process-pool width per allocation")
+    serve.add_argument("--max-queue", type=int, default=64,
+                       help="admission-control queue bound")
+    serve.add_argument("--cache-size", type=int, default=256,
+                       help="in-memory result-cache entries")
+    serve.add_argument("--cache-dir", default=None,
+                       help="on-disk cache directory "
+                            "(default ~/.cache/repro or $REPRO_CACHE_DIR)")
+    serve.add_argument("--no-disk-cache", action="store_true",
+                       help="keep the result cache in memory only")
+
+    submit = sub.add_parser("submit",
+                            help="send one request to a running server")
+    source = submit.add_mutually_exclusive_group(required=True)
+    source.add_argument("--file", help="textual IR file ('-' for stdin)")
+    source.add_argument("--bench", choices=BENCHMARK_NAMES,
+                        help="a built-in benchmark name")
+    submit.add_argument("--allocator", choices=sorted(ALLOCATOR_CHOICES),
+                        default="full")
+    submit.add_argument("--regs", type=int, default=24)
+    submit.add_argument("--deadline", type=float, default=None,
+                        help="seconds before the server may degrade "
+                             "the allocator")
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, default=7421)
+    submit.add_argument("--json", action="store_true",
+                        help="print the full response JSON")
+
+    stats = sub.add_parser("stats",
+                           help="fetch a running server's metrics")
+    stats.add_argument("--host", default="127.0.0.1")
+    stats.add_argument("--port", type=int, default=7421)
 
     sub.add_parser("example", help="replay the paper's Figure 7")
     sub.add_parser("targets", help="describe the register-usage models")
@@ -90,11 +146,17 @@ def main(argv: list[str] | None = None,
     args = build_parser().parse_args(argv)
     try:
         if args.command == "alloc":
-            _cmd_alloc(args, out)
+            return _cmd_alloc(args, out) or 0
         elif args.command == "compare":
             _cmd_compare(args, out)
         elif args.command == "bench":
             _cmd_bench(args, out)
+        elif args.command == "serve":
+            _cmd_serve(args, out)
+        elif args.command == "submit":
+            return _cmd_submit(args, out) or 0
+        elif args.command == "stats":
+            _cmd_stats(args, out)
         elif args.command == "example":
             _cmd_example(out)
         elif args.command == "targets":
@@ -102,17 +164,35 @@ def main(argv: list[str] | None = None,
     except ReproError as err:
         print(f"error: {err}", file=sys.stderr)
         return 1
+    except OSError as err:  # unreadable IR file, unbindable port, ...
+        print(f"error: {err}", file=sys.stderr)
+        return 1
     except BrokenPipeError:  # e.g. `python -m repro targets | head`
         return 0
     return 0
 
 
+def _read_text(path: str) -> str:
+    return sys.stdin.read() if path == "-" else open(path).read()
+
+
 def _read_module(path: str):
-    text = sys.stdin.read() if path == "-" else open(path).read()
-    return parse_module(text)
+    return parse_module(_read_text(path))
 
 
-def _cmd_alloc(args, out) -> None:
+def _cmd_alloc(args, out) -> int:
+    if args.json:
+        # One-shot direct run: a fixed id keeps the output deterministic
+        # (submit generates unique ids; a server queue needs them).
+        request = AllocationRequest(
+            id="cli",
+            ir=_read_text(args.file),
+            allocator=args.allocator,
+            machine=MachineSpec(regs=args.regs),
+        )
+        response = execute_request(request)
+        print(response.to_json(), file=out)
+        return 0
     machine = make_machine(args.regs)
     module = _read_module(args.file)
     prepared = prepare_module(module, machine)
@@ -128,12 +208,16 @@ def _cmd_alloc(args, out) -> None:
     print(f"; spill instrs     : {stats.spill_instructions}", file=out)
     print(f"; estimated cycles : {cycles.total:.0f} "
           f"({cycles.describe()})", file=out)
+    return 0
 
 
 def _cmd_compare(args, out) -> None:
     machine = make_machine(args.regs)
     module = _read_module(args.file)
     prepared = prepare_module(module, machine)
+    if args.json:
+        print(_comparison_json(prepared, machine), file=out)
+        return
     _comparison_table(prepared, machine, out)
 
 
@@ -141,6 +225,10 @@ def _cmd_bench(args, out) -> None:
     machine = make_machine(args.regs)
     module = make_benchmark(args.name)
     prepared = prepare_module(module, machine)
+    if args.json:
+        print(_comparison_json(prepared, machine, bench=args.name),
+              file=out)
+        return
     print(f"benchmark {args.name}: {len(prepared.functions)} functions, "
           f"{prepared.instruction_count()} instructions, "
           f"{args.regs} regs/class", file=out)
@@ -161,6 +249,103 @@ def _comparison_table(prepared, machine, out) -> None:
               f"{cycles.caller_save_cycles:12.0f} "
               f"{cycles.paired_loads_fused:7d} "
               f"{cycles.total:9.0f}", file=out)
+
+
+def _comparison_json(prepared, machine, bench: str | None = None) -> str:
+    """Every allocator's result in the service response schema."""
+    from repro.service.protocol import AllocationResponse, machine_descriptor
+
+    results = {}
+    for name, factory in ALLOCATOR_CHOICES.items():
+        run = allocate_module(prepared, machine, factory())
+        response = AllocationResponse(
+            ok=True,
+            allocator=name,
+            effective_allocator=name,
+            code=render_allocation(run),
+            stats=stats_to_dict(run.stats),
+            cycles=cycles_to_dict(run.cycles),
+        ).seal()
+        results[name] = response.to_wire()
+    payload = {
+        "type": "comparison",
+        "protocol": PROTOCOL_VERSION,
+        "machine": machine_descriptor(machine),
+        "results": results,
+    }
+    if bench is not None:
+        payload["bench"] = bench
+    return canonical_json(payload)
+
+
+def _cmd_serve(args, out) -> None:
+    disk_dir = None
+    if not args.no_disk_cache:
+        disk_dir = (Path(args.cache_dir) if args.cache_dir
+                    else default_cache_dir())
+    cache = ResultCache(max_entries=args.cache_size, disk_dir=disk_dir)
+    metrics = ServiceMetrics()
+    scheduler = Scheduler(cache=cache, metrics=metrics, jobs=args.jobs,
+                          max_queue=args.max_queue)
+    if args.stdio:
+        scheduler.start()
+        try:
+            serve_stdio(scheduler, sys.stdin, out)
+        finally:
+            scheduler.stop()
+            print(canonical_json({"type": "final_stats",
+                                  "metrics": metrics.snapshot(),
+                                  "cache": cache.snapshot()}),
+                  file=sys.stderr)
+        return
+    server = ServerThread(scheduler, args.host, args.port)
+    host, port = server.start()
+    print(f"repro service listening on {host}:{port}", file=out, flush=True)
+    try:
+        server.join()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+        print(canonical_json({"type": "final_stats",
+                              "metrics": metrics.snapshot(),
+                              "cache": cache.snapshot()}),
+              file=out, flush=True)
+
+
+def _cmd_submit(args, out) -> int:
+    request = AllocationRequest(
+        id=f"cli-{uuid.uuid4().hex[:12]}",
+        ir=_read_text(args.file) if args.file else None,
+        bench=args.bench,
+        allocator=args.allocator,
+        machine=MachineSpec(regs=args.regs),
+        deadline_s=args.deadline,
+    )
+    client = ServiceClient(args.host, args.port)
+    response = client.allocate(request)
+    if args.json:
+        print(response.to_json(), file=out)
+        return 0 if response.ok else 1
+    if not response.ok:
+        raise ServiceError(response.error)
+    stats = response.stats
+    flags = []
+    if response.cached:
+        flags.append("cached")
+    if response.degraded:
+        flags.append(f"degraded->{response.effective_allocator}")
+    print(f"{response.effective_allocator}: "
+          f"moves {stats['moves_eliminated']}/{stats['moves_before']}, "
+          f"spills {stats['spill_instructions']}, "
+          f"cycles {response.cycles['total']:.0f}"
+          f"{' [' + ', '.join(flags) + ']' if flags else ''}", file=out)
+    return 0
+
+
+def _cmd_stats(args, out) -> None:
+    client = ServiceClient(args.host, args.port)
+    print(canonical_json(client.stats()), file=out)
 
 
 def _cmd_example(out) -> None:

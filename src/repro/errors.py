@@ -18,6 +18,7 @@ __all__ = [
     "AllocationVerifyError",
     "SimulationError",
     "TargetError",
+    "ServiceError",
 ]
 
 
@@ -61,3 +62,7 @@ class SimulationError(ReproError):
 
 class TargetError(ReproError):
     """Raised for inconsistent target machine descriptions."""
+
+
+class ServiceError(ReproError):
+    """Raised by the allocation service on bad requests or overload."""

@@ -21,7 +21,9 @@ Two throughput levers, both result-neutral:
 
 from __future__ import annotations
 
+import warnings
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from weakref import WeakKeyDictionary
 
@@ -136,15 +138,30 @@ def allocate_module(
     """
     out = ModuleAllocation(allocator=allocator.name, machine=machine)
     out.stats.allocator = allocator.name
+    merged = None
     if jobs > 1 and len(prepared.functions) > 1:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = [
-                pool.submit(_allocate_one, func, machine, allocator,
-                            verify, reuse_analyses)
-                for func in prepared.functions
-            ]
-            merged = [f.result() for f in futures]
-    else:
+        try:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                futures = [
+                    pool.submit(_allocate_one, func, machine, allocator,
+                                verify, reuse_analyses)
+                    for func in prepared.functions
+                ]
+                merged = [f.result() for f in futures]
+        except (BrokenProcessPool, OSError, PermissionError,
+                RuntimeError) as err:
+            # Sandboxed / no-fork environments can refuse to start the
+            # pool (or kill its workers before the first result); the
+            # answer is the same either way, just slower.  Allocator
+            # errors are ReproErrors and still propagate.
+            warnings.warn(
+                f"process pool unavailable ({err!r}); "
+                f"falling back to serial allocation",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            merged = None
+    if merged is None:
         merged = [
             _allocate_one(func, machine, allocator, verify, reuse_analyses)
             for func in prepared.functions

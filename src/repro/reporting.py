@@ -7,10 +7,22 @@ geometric-mean summary row (the paper's "geo." column in Figure 10).
 
 from __future__ import annotations
 
+import json
 import math
 from typing import Mapping, Sequence
 
-__all__ = ["geomean", "format_table", "format_ratio_table"]
+__all__ = ["geomean", "format_table", "format_ratio_table",
+           "canonical_json"]
+
+
+def canonical_json(payload) -> str:
+    """Deterministic JSON: sorted keys, fixed separators, no whitespace
+    variance.  The service protocol, the ``--json`` CLI outputs, and the
+    content-addressed cache all serialize through this single function so
+    equal payloads always produce byte-equal text (and therefore equal
+    fingerprints)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      ensure_ascii=True)
 
 
 def geomean(values: Sequence[float]) -> float:

@@ -1,0 +1,162 @@
+"""Content-addressed allocation cache with LRU bounds and a disk layer.
+
+The key of an entry is a fingerprint of *what determines the result*:
+the normalized IR text (parse -> print round-trip, so formatting and
+comment noise never split the cache), the machine's full register model,
+the allocator name, and the verify flag.  Two requests that would
+allocate identically therefore share one entry — including a ``bench``
+request and an ``ir`` request carrying the same module text.
+
+Entries store the response with per-request metadata stripped
+(:meth:`AllocationResponse.for_cache`), so a hit can be re-addressed to
+any request id.  The in-memory layer is a bounded LRU; the optional disk
+layer under ``~/.cache/repro`` (override with ``$REPRO_CACHE_DIR`` or
+``disk_dir=``) persists entries across server restarts and is consulted
+only on a memory miss.  All disk I/O failures degrade to cache misses —
+the cache must never take the service down.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from collections import OrderedDict
+from dataclasses import replace
+from pathlib import Path
+
+from repro.reporting import canonical_json
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    AllocationResponse,
+    machine_descriptor,
+)
+from repro.target.machine import TargetMachine
+
+__all__ = ["ResultCache", "request_fingerprint", "default_cache_dir"]
+
+
+def request_fingerprint(normalized_ir: str, machine: TargetMachine,
+                        allocator: str, verify: bool = True) -> str:
+    """The content address of one allocation request."""
+    payload = canonical_json({
+        "protocol": PROTOCOL_VERSION,
+        "ir": normalized_ir,
+        "machine": machine_descriptor(machine),
+        "allocator": allocator,
+        "verify": verify,
+    })
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    return Path("~/.cache/repro").expanduser()
+
+
+class ResultCache:
+    """Bounded LRU of allocation responses, optionally disk-backed."""
+
+    def __init__(self, max_entries: int = 256,
+                 disk_dir: Path | str | None = None):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.disk_dir = Path(disk_dir).expanduser() if disk_dir else None
+        self._entries: "OrderedDict[str, AllocationResponse]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+        self.evictions = 0
+        self.disk_errors = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- lookup --------------------------------------------------------
+
+    def get(self, key: str) -> AllocationResponse | None:
+        """The cached response for ``key`` (shared copy), or None."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return replace(entry)
+        entry = self._disk_get(key)
+        if entry is not None:
+            self.hits += 1
+            self.disk_hits += 1
+            self._remember(key, entry)
+            return replace(entry)
+        self.misses += 1
+        return None
+
+    def put(self, key: str, response: AllocationResponse) -> None:
+        """Store ``response`` under ``key`` (metadata stripped)."""
+        entry = response.for_cache()
+        self._remember(key, entry)
+        self._disk_put(key, entry)
+
+    def _remember(self, key: str, entry: AllocationResponse) -> None:
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    # -- disk layer ----------------------------------------------------
+
+    def _disk_path(self, key: str) -> Path:
+        # Shard by prefix so a long-lived cache dir stays listable.
+        return self.disk_dir / key[:2] / f"{key}.json"
+
+    def _disk_get(self, key: str) -> AllocationResponse | None:
+        if self.disk_dir is None:
+            return None
+        try:
+            import json
+
+            path = self._disk_path(key)
+            if not path.is_file():
+                return None
+            wire = json.loads(path.read_text())
+            entry = AllocationResponse.from_wire(wire)
+            if entry.protocol != PROTOCOL_VERSION or not entry.ok:
+                return None
+            return entry
+        except (OSError, ValueError):
+            self.disk_errors += 1
+            return None
+
+    def _disk_put(self, key: str, entry: AllocationResponse) -> None:
+        if self.disk_dir is None:
+            return
+        try:
+            path = self._disk_path(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(".tmp")
+            tmp.write_text(entry.to_json() + "\n")
+            os.replace(tmp, path)
+        except OSError:
+            self.disk_errors += 1
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_ratio": round(self.hit_ratio, 4),
+            "disk_hits": self.disk_hits,
+            "disk_errors": self.disk_errors,
+            "evictions": self.evictions,
+            "disk_dir": str(self.disk_dir) if self.disk_dir else None,
+        }

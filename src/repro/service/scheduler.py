@@ -1,0 +1,361 @@
+"""Batching scheduler: bounded queue, deadlines, graceful degradation.
+
+Requests enter a bounded queue (admission control: a full queue rejects
+immediately rather than building unbounded backlog) and a worker drains
+them in batches onto the existing pipeline — ``allocate_module`` with
+its process-pool ``jobs`` fan-out.  Two load-shedding mechanisms, both
+*graceful* (the client always gets a valid allocation, never an error):
+
+* **deadline**: a request whose wait has already exceeded its
+  ``deadline_s`` is downgraded along the degradation ladder
+  (``full`` -> ``chaitin``) so it completes quickly;
+* **overload**: requests admitted while the queue is above the
+  high-watermark are downgraded the same way.
+
+Degraded responses carry ``degraded: true`` and are *not* written to the
+content-addressed cache — the cache only ever holds the allocator the
+client asked for, which keeps cached responses byte-identical to a
+direct :func:`repro.pipeline.allocate_module` run.
+
+Batches reuse work across requests: the module parse/prepare step is
+memoized per (module, machine) fingerprint, so fifty requests sweeping
+eight allocators over one module prepare it once (and, through
+``round0_analyses``, analyze it once).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass
+from time import perf_counter
+
+from repro.core import PreferenceConfig, PreferenceDirectedAllocator
+from repro.errors import ReproError, ServiceError
+from repro.ir.function import Module
+from repro.ir.parser import parse_module
+from repro.ir.printer import print_function, print_module
+from repro.pipeline import ModuleAllocation, allocate_module, prepare_module
+from repro.regalloc import (
+    BriggsAllocator,
+    CallCostAllocator,
+    ChaitinAllocator,
+    IteratedCoalescingAllocator,
+    OptimisticCoalescingAllocator,
+    PriorityAllocator,
+)
+from repro.service.cache import ResultCache, request_fingerprint
+from repro.service.metrics import ServiceMetrics
+from repro.service.protocol import (
+    AllocationRequest,
+    AllocationResponse,
+    cycles_to_dict,
+    stats_to_dict,
+)
+from repro.workloads import make_benchmark
+
+__all__ = [
+    "ALLOCATOR_FACTORIES",
+    "DEGRADATION_LADDER",
+    "degrade_for",
+    "render_allocation",
+    "execute_request",
+    "Scheduler",
+]
+
+#: The canonical name -> factory map, shared with the CLI.
+ALLOCATOR_FACTORIES = {
+    "chaitin": ChaitinAllocator,
+    "briggs": BriggsAllocator,
+    "iterated": IteratedCoalescingAllocator,
+    "optimistic": OptimisticCoalescingAllocator,
+    "callcost": CallCostAllocator,
+    "priority": PriorityAllocator,
+    "only-coalescing": lambda: PreferenceDirectedAllocator(
+        PreferenceConfig.only_coalescing()
+    ),
+    "full": PreferenceDirectedAllocator,
+}
+
+#: Under pressure each allocator falls back one rung; ``chaitin`` is the
+#: floor (cheapest round, no preference machinery) and never degrades.
+DEGRADATION_LADDER = {
+    "full": "chaitin",
+    "only-coalescing": "chaitin",
+    "iterated": "briggs",
+    "optimistic": "briggs",
+    "briggs": "chaitin",
+    "callcost": "chaitin",
+    "priority": "chaitin",
+}
+
+
+def degrade_for(allocator: str) -> str:
+    return DEGRADATION_LADDER.get(allocator, "chaitin")
+
+
+def resolve_module(request: AllocationRequest) -> Module:
+    """The module a request names: parsed IR text or a benchmark."""
+    if request.ir is not None:
+        return parse_module(request.ir)
+    return make_benchmark(request.bench)
+
+
+def render_allocation(run: ModuleAllocation) -> str:
+    """The allocated module exactly as ``print_module`` renders it."""
+    return "\n\n".join(print_function(r.func) for r in run.results)
+
+
+def execute_request(
+    request: AllocationRequest,
+    jobs: int = 1,
+    effective_allocator: str | None = None,
+    prepared=None,
+    machine=None,
+) -> AllocationResponse:
+    """Run one request through the pipeline (no queue, no cache).
+
+    This is the single compute path shared by the scheduler, the
+    ``--json`` CLI commands, and the byte-identity tests; callers may
+    pass a pre-``prepare_module``-d module to skip re-preparation.
+    """
+    request.validate()
+    name = effective_allocator or request.allocator
+    if machine is None:
+        machine = request.machine.build()
+    if prepared is None:
+        prepared = prepare_module(resolve_module(request), machine)
+    run = allocate_module(prepared, machine, ALLOCATOR_FACTORIES[name](),
+                          verify=request.verify, jobs=jobs)
+    response = AllocationResponse(
+        id=request.id,
+        ok=True,
+        allocator=request.allocator,
+        effective_allocator=name,
+        degraded=name != request.allocator,
+        code=render_allocation(run),
+        stats=stats_to_dict(run.stats),
+        cycles=cycles_to_dict(run.cycles),
+    )
+    return response.seal()
+
+
+@dataclass(eq=False)
+class _Job:
+    request: AllocationRequest
+    future: Future
+    submitted_at: float
+    overloaded: bool = False
+
+
+class Scheduler:
+    """Queue + worker turning requests into responses."""
+
+    def __init__(
+        self,
+        cache: ResultCache | None = None,
+        metrics: ServiceMetrics | None = None,
+        jobs: int = 1,
+        max_queue: int = 64,
+        batch_size: int = 8,
+        overload_watermark: int | None = None,
+        prepared_cache_size: int = 32,
+    ):
+        self.cache = cache
+        self.metrics = metrics or ServiceMetrics()
+        self.jobs = jobs
+        self.batch_size = max(1, batch_size)
+        self.overload_watermark = (
+            overload_watermark
+            if overload_watermark is not None
+            else max(2, (max_queue * 3) // 4)
+        )
+        self._queue: "queue.Queue[_Job]" = queue.Queue(maxsize=max_queue)
+        self._prepared: dict[str, tuple] = {}
+        self._prepared_cache_size = max(1, prepared_cache_size)
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- intake --------------------------------------------------------
+
+    def submit(self, request: AllocationRequest) -> Future:
+        """Admit a request; the Future resolves to an AllocationResponse.
+
+        A full queue resolves the future *immediately* with an
+        ``ok=false`` rejection — backpressure is explicit, not implicit
+        latency.
+        """
+        future: Future = Future()
+        self.metrics.inc("requests_total")
+        try:
+            request.validate()
+        except ServiceError as err:
+            self.metrics.inc("responses_error")
+            future.set_result(AllocationResponse.error_response(
+                request.id, str(err), request.allocator))
+            return future
+        job = _Job(
+            request=request,
+            future=future,
+            submitted_at=perf_counter(),
+            overloaded=self._queue.qsize() >= self.overload_watermark,
+        )
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            self.metrics.inc("rejected_total")
+            self.metrics.inc("responses_error")
+            future.set_result(AllocationResponse.error_response(
+                request.id,
+                "queue full: admission control rejected the request",
+                request.allocator,
+            ))
+            return future
+        self.metrics.set_queue_depth(self._queue.qsize())
+        return future
+
+    # -- processing ----------------------------------------------------
+
+    def run_once(self, timeout: float = 0.0) -> int:
+        """Drain and process up to ``batch_size`` queued jobs."""
+        jobs: list[_Job] = []
+        try:
+            jobs.append(
+                self._queue.get(timeout=timeout)
+                if timeout > 0 else self._queue.get_nowait()
+            )
+        except queue.Empty:
+            return 0
+        while len(jobs) < self.batch_size:
+            try:
+                jobs.append(self._queue.get_nowait())
+            except queue.Empty:
+                break
+        self.metrics.inc("batches_total")
+        self.metrics.set_queue_depth(self._queue.qsize())
+        for job in jobs:
+            job.future.set_result(self._process(job))
+        return len(jobs)
+
+    def _prepare_cached(self, normalized_ir: str, request, module, machine):
+        """Memoized ``prepare_module`` keyed by module+machine content."""
+        key = request_fingerprint(normalized_ir, machine, "", verify=False)
+        hit = self._prepared.get(key)
+        if hit is None:
+            hit = (prepare_module(module, machine), machine)
+            self._prepared[key] = hit
+            while len(self._prepared) > self._prepared_cache_size:
+                self._prepared.pop(next(iter(self._prepared)))
+        return hit
+
+    def _process(self, job: _Job) -> AllocationResponse:
+        request = job.request
+        started = perf_counter()
+        wait_s = started - job.submitted_at
+        self.metrics.observe("wait", wait_s)
+        timings = {"wait_s": round(wait_s, 6)}
+        try:
+            t0 = perf_counter()
+            module = resolve_module(request)
+            normalized = print_module(module)
+            machine = request.machine.build()
+            timings["parse_s"] = round(perf_counter() - t0, 6)
+            self.metrics.observe("parse", timings["parse_s"])
+            fingerprint = request_fingerprint(
+                normalized, machine, request.allocator, request.verify
+            )
+            if self.cache is not None:
+                hit = self.cache.get(fingerprint)
+                if hit is not None:
+                    self.metrics.inc("cache_hits")
+                    self.metrics.inc("responses_ok")
+                    hit.id = request.id
+                    hit.cached = True
+                    hit.fingerprint = fingerprint
+                    total = perf_counter() - job.submitted_at
+                    hit.timings = {**timings, "total_s": round(total, 6)}
+                    self.metrics.observe("total", total)
+                    return hit
+                self.metrics.inc("cache_misses")
+
+            effective = request.allocator
+            if request.deadline_s is not None and (
+                perf_counter() - job.submitted_at
+            ) > request.deadline_s:
+                self.metrics.inc("deadline_misses")
+                effective = degrade_for(request.allocator)
+            elif job.overloaded:
+                effective = degrade_for(request.allocator)
+
+            t0 = perf_counter()
+            prepared, machine = self._prepare_cached(
+                normalized, request, module, machine
+            )
+            timings["prepare_s"] = round(perf_counter() - t0, 6)
+            self.metrics.observe("prepare", timings["prepare_s"])
+
+            t0 = perf_counter()
+            response = execute_request(
+                request, jobs=self.jobs, effective_allocator=effective,
+                prepared=prepared, machine=machine,
+            )
+            timings["allocate_s"] = round(perf_counter() - t0, 6)
+            self.metrics.observe("allocate", timings["allocate_s"])
+
+            response.fingerprint = fingerprint
+            if response.degraded:
+                self.metrics.inc("degraded_total")
+            elif self.cache is not None:
+                self.cache.put(fingerprint, response)
+            self.metrics.inc("responses_ok")
+        except ReproError as err:
+            self.metrics.inc("responses_error")
+            response = AllocationResponse.error_response(
+                request.id, str(err), request.allocator)
+        except Exception as err:  # never kill the worker
+            self.metrics.inc("responses_error")
+            response = AllocationResponse.error_response(
+                request.id, f"internal error: {type(err).__name__}: {err}",
+                request.allocator)
+        total = perf_counter() - job.submitted_at
+        timings["total_s"] = round(total, 6)
+        response.timings = timings
+        self.metrics.observe("total", total)
+        return response
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-scheduler", daemon=True
+        )
+        self._thread.start()
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            if self.run_once(timeout=0.05) == 0:
+                continue
+
+    def stop(self) -> None:
+        """Stop the worker; unanswered jobs get a shutdown error."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        while True:
+            try:
+                job = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            self.metrics.inc("responses_error")
+            job.future.set_result(AllocationResponse.error_response(
+                job.request.id, "server shutting down",
+                job.request.allocator))
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.qsize()

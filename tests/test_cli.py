@@ -1,6 +1,7 @@
 """The command-line interface."""
 
 import io
+import json
 
 import pytest
 
@@ -100,3 +101,140 @@ class TestTargets:
         for label in ("high", "middle", "low"):
             assert label in text
         assert "volatile" in text
+
+
+class TestJsonOutput:
+    def test_alloc_json_speaks_the_service_schema(self, sample_ir):
+        code, text = run_cli(["alloc", sample_ir, "--regs", "8", "--json"])
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["type"] == "allocation"
+        assert payload["ok"] is True
+        assert payload["effective_allocator"] == "full"
+        assert payload["degraded"] is False
+        assert payload["result_digest"]
+        assert "$r" in payload["code"]
+        assert payload["stats"]["moves_before"] > 0
+        assert payload["cycles"]["total"] > 0
+
+    def test_alloc_json_matches_direct_service_execution(self, sample_ir):
+        from repro.service.protocol import AllocationRequest, MachineSpec
+        from repro.service.scheduler import execute_request
+
+        code, text = run_cli(["alloc", sample_ir, "--regs", "8", "--json"])
+        payload = json.loads(text)
+        direct = execute_request(AllocationRequest(
+            id="direct", ir=open(sample_ir).read(), allocator="full",
+            machine=MachineSpec(regs=8)))
+        assert payload["result_digest"] == direct.result_digest
+        assert payload["code"] == direct.code
+
+    def test_compare_json_covers_every_allocator(self, sample_ir):
+        code, text = run_cli(["compare", sample_ir, "--regs", "8",
+                              "--json"])
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["type"] == "comparison"
+        assert set(payload["results"]) == set(ALLOCATOR_CHOICES)
+        for wire in payload["results"].values():
+            assert wire["ok"] and wire["result_digest"]
+
+    def test_bench_json_names_the_benchmark(self):
+        code, text = run_cli(["bench", "jack", "--regs", "16", "--json"])
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["bench"] == "jack"
+        assert set(payload["results"]) == set(ALLOCATOR_CHOICES)
+
+    def test_json_output_is_deterministic(self, sample_ir):
+        _, first = run_cli(["alloc", sample_ir, "--regs", "8", "--json"])
+        _, second = run_cli(["alloc", sample_ir, "--regs", "8", "--json"])
+        assert first == second
+
+
+class TestErrorPaths:
+    def test_missing_ir_file(self, capsys):
+        code, text = run_cli(["alloc", "/no/such/file.ir"])
+        assert code == 1 and not text
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_ir_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.ir"
+        bad.write_text("func oops( {\n")
+        code, text = run_cli(["alloc", str(bad)])
+        assert code == 1 and not text
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_allocator_rejected_by_parser(self, sample_ir):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["alloc", sample_ir, "--allocator", "linear-scan"])
+
+    def test_submit_requires_exactly_one_source(self, sample_ir):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["submit", "--file", sample_ir, "--bench", "jess"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit"])
+
+    def test_submit_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit", "--bench", "quake"])
+
+    def test_submit_without_server_fails_cleanly(self, capsys):
+        code, text = run_cli(["submit", "--bench", "db",
+                              "--port", "1"])  # nothing listens on 1
+        assert code == 1 and not text
+        assert "cannot reach allocation server" in capsys.readouterr().err
+
+    def test_stats_without_server_fails_cleanly(self, capsys):
+        code, text = run_cli(["stats", "--port", "1"])
+        assert code == 1
+        assert "cannot reach allocation server" in capsys.readouterr().err
+
+
+class TestServiceCommands:
+    @pytest.fixture
+    def live_server(self):
+        from repro.service import ResultCache, Scheduler, ServerThread
+
+        thread = ServerThread(Scheduler(cache=ResultCache()))
+        host, port = thread.start()
+        yield host, port
+        thread.stop()
+
+    def test_submit_human_and_json(self, live_server):
+        host, port = live_server
+        code, text = run_cli(["submit", "--bench", "db", "--regs", "16",
+                              "--host", host, "--port", str(port)])
+        assert code == 0
+        assert "moves" in text and "cycles" in text
+
+        code, text = run_cli(["submit", "--bench", "db", "--regs", "16",
+                              "--host", host, "--port", str(port),
+                              "--json"])
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["ok"] and payload["cached"]
+
+    def test_submit_deadline_degrades(self, live_server):
+        host, port = live_server
+        code, text = run_cli(["submit", "--bench", "jack",
+                              "--regs", "16", "--allocator", "full",
+                              "--deadline", "0", "--host", host,
+                              "--port", str(port), "--json"])
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["ok"] and payload["degraded"]
+        assert payload["effective_allocator"] == "chaitin"
+
+    def test_stats_command(self, live_server):
+        host, port = live_server
+        run_cli(["submit", "--bench", "db", "--regs", "16",
+                 "--host", host, "--port", str(port)])
+        code, text = run_cli(["stats", "--host", host,
+                              "--port", str(port)])
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["type"] == "stats"
+        assert payload["metrics"]["counters"]["requests_total"] >= 1
