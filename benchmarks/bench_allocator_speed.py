@@ -17,6 +17,14 @@ a speedup can never silently come from changed results.
 ``baseline_full_s`` is the pre-bitset time of the ``full`` allocator on
 jess/24 measured on this machine before the dense-index/bitmask kernels
 landed; ``speedup_full`` is relative to it.
+
+Each allocator entry also records ``rounds`` (the worst-case Figure-8
+iteration count over the module) and ``phases`` — a per-phase
+wall-clock breakdown from :mod:`repro.profiling` — so spill-round cost
+is attributable: under ``--spill-pressure N`` (an N-register
+``make_machine`` squeeze that forces multi-round allocations) the
+``reanalyze`` phase shows what the incremental spill-round path costs
+versus the round-0 ``analyze`` phase.
 """
 
 import argparse
@@ -31,7 +39,10 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 from conftest import ALLOCATORS, prepared_module
 
-from repro.pipeline import allocate_module
+from repro.pipeline import allocate_module, prepare_module
+from repro.profiling import profiled
+from repro.target.presets import make_machine
+from repro.workloads import make_benchmark
 
 #: jess/24 ``full`` wall time before the bitset dataflow kernels (best
 #: of 3 on the reference machine; see DESIGN.md "Bitset kernels").
@@ -63,7 +74,10 @@ def fingerprint(result) -> dict:
 def time_allocator(prepared, machine, name: str, repeats: int,
                    jobs: int) -> dict:
     allocator = ALLOCATORS[name]()
-    result = allocate_module(prepared, machine, allocator, jobs=jobs)  # warm
+    # The warm-up run doubles as the phase-profiled run; the timed loop
+    # below runs unprofiled so phase bookkeeping never taints `best_s`.
+    with profiled() as prof:
+        result = allocate_module(prepared, machine, allocator, jobs=jobs)
     times = []
     for _ in range(repeats):
         start = time.perf_counter()
@@ -72,7 +86,9 @@ def time_allocator(prepared, machine, name: str, repeats: int,
     return {
         "best_s": round(min(times), 4),
         "mean_s": round(sum(times) / len(times), 4),
+        "rounds": result.stats.rounds,
         **fingerprint(result),
+        "phases": prof.snapshot(digits=4),
     }
 
 
@@ -89,11 +105,17 @@ def git_commit() -> str:
 
 
 def run(bench: str, model: str, allocators: list[str], repeats: int,
-        jobs: int) -> dict:
-    prepared, machine = prepared_module(bench, model)
+        jobs: int, spill_pressure: int | None = None) -> dict:
+    if spill_pressure is not None:
+        machine = make_machine(spill_pressure)
+        prepared = prepare_module(make_benchmark(bench), machine)
+    else:
+        prepared, machine = prepared_module(bench, model)
     report = {
         "bench": bench,
-        "model": model,
+        "model": model if spill_pressure is None
+        else f"make_machine({spill_pressure})",
+        "spill_pressure": spill_pressure,
         "repeats": repeats,
         "jobs": jobs,
         "python": sys.version.split()[0],
@@ -106,7 +128,9 @@ def run(bench: str, model: str, allocators: list[str], repeats: int,
         report["allocators"][name] = time_allocator(
             prepared, machine, name, repeats, jobs
         )
-        print(f"{name:>16}: {report['allocators'][name]['best_s']:.3f}s")
+        entry = report["allocators"][name]
+        print(f"{name:>16}: {entry['best_s']:.3f}s "
+              f"({entry['rounds']} rounds)")
     full = report["allocators"].get("full")
     if full:
         report["speedup_full"] = round(BASELINE_FULL_S / full["best_s"], 2)
@@ -124,12 +148,19 @@ def main(argv=None) -> None:
     parser.add_argument("--repeats", type=int, default=5)
     parser.add_argument("--jobs", type=int, default=1,
                         help="process-pool width for allocate_module")
+    parser.add_argument("--spill-pressure", type=int, default=None,
+                        metavar="N",
+                        help="time against an N-register make_machine() "
+                             "squeeze instead of --model, forcing "
+                             "multi-round (spill) allocations")
     parser.add_argument("--out", default="BENCH_allocator_speed.json")
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
+    if args.spill_pressure is not None and args.spill_pressure < 2:
+        parser.error("--spill-pressure must be >= 2")
     report = run(args.bench, args.model, args.allocators, args.repeats,
-                 args.jobs)
+                 args.jobs, args.spill_pressure)
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")
 

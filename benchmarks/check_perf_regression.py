@@ -1,0 +1,93 @@
+"""Perf-regression gate: a fresh bench report vs the committed baseline.
+
+CI runners and the machine that produced ``BENCH_allocator_speed.json``
+differ in raw speed, so absolute ``best_s`` values cannot be compared
+directly.  The gate normalizes by the ``chaitin`` allocator — the
+simplest, most stable configuration — and checks every other
+allocator's time *relative to chaitin* against the committed report:
+
+    ratio(report, name) = best_s[name] / best_s[chaitin]
+    ratio(fresh, name) <= ratio(committed, name) * (1 + tolerance)
+
+A real perf regression (say, the incremental spill-round path silently
+falling back to from-scratch re-analysis) inflates the spilling
+allocators' ratios well past any plausible noise band, while uniform
+machine slowness cancels out.  The derived ``speedup_full`` figure is
+checked the same way.  Behavioral fingerprints (moves, spills, cycles)
+are a separate CI step; this gate is about time only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def ratios(report: dict, base: str = "chaitin") -> dict[str, float]:
+    allocators = report["allocators"]
+    base_s = allocators[base]["best_s"]
+    if base_s <= 0:
+        raise SystemExit(f"degenerate baseline time for {base!r}: {base_s}")
+    return {
+        name: entry["best_s"] / base_s for name, entry in allocators.items()
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", type=Path, help="report from this run")
+    parser.add_argument("committed", type=Path,
+                        help="committed baseline report")
+    parser.add_argument("--tolerance", type=float, default=0.40,
+                        help="allowed relative slowdown per allocator "
+                             "(default 0.40; CI smoke runs few repeats)")
+    args = parser.parse_args(argv)
+
+    fresh = json.loads(args.fresh.read_text())
+    committed = json.loads(args.committed.read_text())
+    fresh_r, committed_r = ratios(fresh), ratios(committed)
+
+    failures = []
+    print(f"{'allocator':>16} {'committed':>10} {'fresh':>10} {'margin':>8}")
+    for name, want in sorted(committed_r.items()):
+        got = fresh_r.get(name)
+        if got is None:
+            print(f"{name:>16} {want:>10.2f} {'absent':>10} {'':>8}")
+            continue
+        margin = got / want - 1.0
+        flag = " REGRESSION" if margin > args.tolerance else ""
+        print(f"{name:>16} {want:>10.2f} {got:>10.2f} {margin:>+7.0%}{flag}")
+        if margin > args.tolerance:
+            failures.append(
+                f"{name}: {got:.2f}x chaitin vs committed {want:.2f}x "
+                f"(+{margin:.0%} > +{args.tolerance:.0%})"
+            )
+
+    if "speedup_full" in committed and "speedup_full" in fresh:
+        # speedup_full divides a fixed historical constant by full's
+        # absolute time, so normalize it by the chaitin times too.
+        scale = (fresh["allocators"]["chaitin"]["best_s"]
+                 / committed["allocators"]["chaitin"]["best_s"])
+        normalized = fresh["speedup_full"] * scale
+        floor = committed["speedup_full"] * (1 - args.tolerance)
+        print(f"{'speedup_full':>16} {committed['speedup_full']:>10.2f} "
+              f"{normalized:>10.2f} (normalized; floor {floor:.2f})")
+        if normalized < floor:
+            failures.append(
+                f"speedup_full: {normalized:.2f} normalized < {floor:.2f}"
+            )
+
+    if failures:
+        print("\nperf regression gate FAILED:", file=sys.stderr)
+        for line in failures:
+            print(f"  - {line}", file=sys.stderr)
+        return 1
+    print("\nperf regression gate passed "
+          f"(tolerance +{args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,327 @@
+"""Incremental re-analysis of spill rounds.
+
+The Figure 8 loop — renumber → analyze → color → spill → repeat —
+rebuilt every analysis from scratch each round, although
+:func:`~repro.regalloc.spill.insert_spill_code` never changes control
+flow and rewrites only the blocks where a spilled live range occurs.
+This module patches the previous round's analyses through a
+:class:`~repro.regalloc.spill.SpillDelta` instead:
+
+* **CFG and loop nest** are reused outright (spill code is branch-free);
+* **liveness** re-derives gen/kill summaries only for touched blocks and
+  re-solves a worklist seeded from them, translating every untouched
+  block's masks through the renumbering;
+* **interference** re-scans only touched blocks; untouched blocks'
+  one-sided row contributions are translated and re-merged;
+* **spill costs** re-scan only touched blocks; untouched contributions
+  are renamed and re-summed.
+
+Why translation + a monotone worklist is exact: renumbering renames
+every surviving live range bijectively (we bail out when any web
+splits), and spill insertion leaves the occurrences of *surviving*
+registers untouched — so each untouched block's gen/kill/row/cost
+summaries are the old ones under the rename.  Deleted live ranges
+(spilled or rematerialized — including a spilled parameter, whose old
+whole-function range collapses to one entry-block store) must not be
+re-iterated from the stale solution, because a stale "live" bit can
+sustain itself around a cycle; instead their bits are dropped from every
+translated mask, leaving a start point *below* the new fixed point, and
+the worklist monotonically re-adds exactly what the touched blocks
+expose.  The fixed point of the (monotone, finite) system is unique, so
+the patched solution equals the from-scratch one bit for bit.
+
+Any violated assumption — web splits, unreachable blocks, missing
+per-block state — makes :func:`apply_spill_delta` return ``None`` and
+the driver falls back to a from-scratch
+:func:`~repro.regalloc.base.compute_round_analyses`.
+
+The escape hatch: ``REPRO_INCREMENTAL_ROUNDS=0`` (or ``off``/``false``)
+disables patching entirely; ``REPRO_INCREMENTAL_ROUNDS=validate`` runs
+both paths every round and raises on any divergence (the property suite
+runs under it).
+"""
+
+from __future__ import annotations
+
+import os
+from collections import deque
+from dataclasses import dataclass
+
+from repro.analysis.indexing import index_function
+from repro.analysis.interference import (
+    InterferenceGraph,
+    finish_interference,
+    scan_block_rows,
+)
+from repro.analysis.liveness import Liveness, _block_masks
+from repro.analysis.renumber import RenumberResult
+from repro.ir.function import Function
+from repro.ir.instructions import Move
+from repro.ir.values import PReg, VReg
+from repro.regalloc.costs import block_spill_costs
+from repro.regalloc.spill import SpillDelta
+
+__all__ = [
+    "PatchedAnalyses",
+    "apply_spill_delta",
+    "incremental_mode",
+    "compare_analyses",
+]
+
+
+def incremental_mode() -> str:
+    """``"on"`` (default), ``"off"``, or ``"validate"``.
+
+    Controlled by the ``REPRO_INCREMENTAL_ROUNDS`` environment variable;
+    any of ``0``/``off``/``false``/``no`` disables the incremental path.
+    """
+    raw = os.environ.get("REPRO_INCREMENTAL_ROUNDS", "1").strip().lower()
+    if raw in {"0", "off", "false", "no"}:
+        return "off"
+    if raw == "validate":
+        return "validate"
+    return "on"
+
+
+@dataclass(eq=False)
+class PatchedAnalyses:
+    """The analyses :func:`apply_spill_delta` produced for the new round."""
+
+    liveness: Liveness
+    ig: InterferenceGraph
+    spill_costs: dict[VReg, float]
+    block_rows: dict[str, dict[int, int]]
+    block_costs: dict[str, dict[VReg, float]]
+
+
+def apply_spill_delta(
+    func: Function,
+    prev,
+    delta: SpillDelta,
+    renumbering: RenumberResult,
+) -> PatchedAnalyses | None:
+    """Patch ``prev`` (a ``RoundAnalyses``) through one spill round.
+
+    ``func`` has already been rewritten by spill insertion *and*
+    renumbered; ``renumbering`` is that renumber's result.  Returns
+    ``None`` whenever an assumption the patch relies on does not hold,
+    in which case the caller recomputes from scratch.
+    """
+    old_liv: Liveness = prev.liveness
+    old_index = old_liv.index
+    if (old_index is None or prev.block_rows is None
+            or prev.block_costs is None or not old_liv.use_mask):
+        return None
+    # A split web means renaming is not a bijection on survivors.
+    if any(count != 1 for count in renumbering.split_counts.values()):
+        return None
+    cfg = prev.cfg
+    blocks = func.block_map()
+    # Renumber skips unreachable blocks, so their registers keep stale
+    # names the rename map cannot translate.
+    if len(cfg.reachable()) != len(blocks):
+        return None
+
+    touched = delta.touched_blocks
+    deleted = delta.deleted_vregs
+    rename = {w.original: w.reg for w in renumbering.webs}
+
+    # --- old dense id -> new dense bit (0 drops the register) ----------
+    # The canonical index of the rewritten function: building it fresh
+    # (one linear walk) is what makes every downstream mask, adjacency
+    # insertion order, and node order byte-identical to from-scratch.
+    index = index_function(func)
+    new_ids = index.ids
+    trans = [0] * len(old_index)
+    for old_id, reg in enumerate(old_index.regs):
+        if isinstance(reg, PReg):
+            new = reg
+        elif reg in deleted:
+            continue
+        else:
+            new = rename.get(reg)
+            if new is None:
+                return None
+        new_id = new_ids.get(new)
+        if new_id is None:
+            return None
+        trans[old_id] = 1 << new_id
+
+    # Masks within one function repeat heavily — live-through sets and
+    # interference rows of neighboring blocks share almost all their
+    # bits — so translation is memoized on 32-bit chunks: each distinct
+    # (offset, chunk) pair is expanded bit-by-bit once and every later
+    # occurrence is a single dict hit.  This turns the dominant cost of
+    # the patch (a full pass over all untouched masks) from
+    # O(total set bits) into roughly O(distinct chunks).
+    chunk_cache: dict[int, int] = {}
+    chunk_get = chunk_cache.get
+
+    def translate(mask: int) -> int:
+        out = 0
+        base = 0
+        while mask:
+            chunk = mask & 0xFFFFFFFF
+            if chunk:
+                key = (base << 32) | chunk
+                val = chunk_get(key)
+                if val is None:
+                    val = 0
+                    c = chunk
+                    while c:
+                        low = c & -c
+                        val |= trans[base + low.bit_length() - 1]
+                        c ^= low
+                    chunk_cache[key] = val
+                out |= val
+            mask >>= 32
+            base += 32
+        return out
+
+    # --- liveness: reuse untouched summaries, re-solve from touched ----
+    gen: dict[str, int] = {}
+    kill: dict[str, int] = {}
+    old_gen = old_liv.use_mask
+    old_kill = old_liv.defs_mask
+    for blk in func.blocks:
+        label = blk.label
+        if label in touched:
+            g, k, phi_defs = _block_masks(blk, index)
+            if phi_defs:
+                return None  # allocation-time functions are phi-free
+            gen[label], kill[label] = g, k
+        else:
+            g_old = old_gen.get(label)
+            if g_old is None:
+                return None
+            gen[label] = translate(g_old)
+            kill[label] = translate(old_kill[label])
+
+    live_in: dict[str, int] = {}
+    live_out: dict[str, int] = {}
+    old_in = old_liv.live_in_mask
+    old_out = old_liv.live_out_mask
+    for blk in func.blocks:
+        label = blk.label
+        live_in[label] = translate(old_in[label])
+        live_out[label] = translate(old_out[label])
+
+    succs = cfg.succs
+    preds = cfg.preds
+    pending = deque(lbl for lbl in cfg.postorder() if lbl in touched)
+    queued = set(pending)
+    while pending:
+        label = pending.popleft()
+        queued.discard(label)
+        out = 0
+        for succ in succs[label]:
+            out |= live_in[succ]
+        new_in = gen[label] | (out & ~kill[label])
+        live_out[label] = out
+        if new_in != live_in[label]:
+            live_in[label] = new_in
+            for pred in preds[label]:
+                if pred not in queued:
+                    queued.add(pred)
+                    pending.append(pred)
+
+    liveness = Liveness(index=index, live_in_mask=live_in,
+                        live_out_mask=live_out, use_mask=gen,
+                        defs_mask=kill)
+    set_of = index.set_of
+    for blk in func.blocks:
+        label = blk.label
+        liveness.live_in[label] = set_of(live_in[label])
+        liveness.live_out[label] = set_of(live_out[label])
+        liveness.use[label] = set_of(gen[label])
+        liveness.defs[label] = set_of(kill[label])
+
+    # --- interference: translate untouched rows, re-scan touched -------
+    moves: list[Move] = []
+    rows: dict[int, int] = {}
+    block_rows: dict[str, dict[int, int]] = {}
+    for blk in func.blocks:
+        label = blk.label
+        local: dict[int, int] = {}
+        if label in touched:
+            scan_block_rows(blk, index, live_out[label], local, moves)
+        else:
+            old_rows = prev.block_rows.get(label)
+            if old_rows is None:
+                return None
+            for i, row in old_rows.items():
+                bit = trans[i]
+                if not bit:
+                    continue  # a deleted register's own row vanishes
+                local[bit.bit_length() - 1] = translate(row)
+            # Renumber rewrites instructions in place, so the block's
+            # Move objects persist; collect them in builder order.
+            for instr in reversed(blk.instrs):
+                if isinstance(instr, Move):
+                    moves.append(instr)
+        block_rows[label] = local
+        for i, row in local.items():
+            rows[i] = rows.get(i, 0) | row
+    ig = finish_interference(index, rows, moves)
+    ig.block_rows = block_rows
+
+    # --- spill costs: rename untouched contributions, re-scan touched --
+    loops = prev.loops
+    costs: dict[VReg, float] = {}
+    block_costs: dict[str, dict[VReg, float]] = {}
+    for blk in func.blocks:
+        label = blk.label
+        if label in touched:
+            local = block_spill_costs(blk, loops.freq(label))
+        else:
+            old_local = prev.block_costs.get(label)
+            if old_local is None:
+                return None
+            local = {}
+            for v, c in old_local.items():
+                nv = rename.get(v)
+                if nv is None:
+                    # A deleted register can only occur in touched
+                    # blocks; reaching here means the delta lied.
+                    return None
+                local[nv] = c
+        block_costs[label] = local
+        for v, c in local.items():
+            costs[v] = costs.get(v, 0.0) + c
+    for param in func.params:
+        if isinstance(param, VReg):
+            costs.setdefault(param, 0.0)
+
+    return PatchedAnalyses(liveness=liveness, ig=ig, spill_costs=costs,
+                           block_rows=block_rows, block_costs=block_costs)
+
+
+def compare_analyses(patched, fresh) -> list[str]:
+    """Differences between a patched and a from-scratch round analysis.
+
+    Empty list means value-identical (including the node insertion order
+    the allocators' tie-breaks depend on).  Used by validate mode and
+    the property suite.
+    """
+    problems: list[str] = []
+    p_liv, f_liv = patched.liveness, fresh.liveness
+    for name in ("live_in", "live_out", "use", "defs",
+                 "live_in_mask", "live_out_mask", "use_mask", "defs_mask"):
+        if getattr(p_liv, name) != getattr(f_liv, name):
+            problems.append(f"liveness.{name} differs")
+    p_ig, f_ig = patched.ig, fresh.ig
+    if list(p_ig.adjacency) != list(f_ig.adjacency):
+        problems.append("interference node order differs")
+    if p_ig.adjacency != f_ig.adjacency:
+        problems.append("interference adjacency differs")
+    if [(m.dst, m.src) for m in p_ig.moves] != \
+            [(m.dst, m.src) for m in f_ig.moves]:
+        problems.append("move lists differ")
+    if patched.spill_costs != fresh.spill_costs:
+        problems.append("spill costs differ")
+    if fresh.block_rows is not None and patched.block_rows != fresh.block_rows:
+        problems.append("per-block interference rows differ")
+    if (fresh.block_costs is not None
+            and patched.block_costs != fresh.block_costs):
+        problems.append("per-block cost tables differ")
+    return problems

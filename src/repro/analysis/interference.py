@@ -14,8 +14,14 @@ Chaitin's definition with the standard refinements:
 The builder accumulates adjacency as *bitmasks* over the dense register
 index that liveness computed: one backward scan per block keeps the live
 set as an int, and each definition point ORs the whole live mask into
-the definer's adjacency row in one operation.  Rows are symmetrized and
-materialized into the public dict-of-sets adjacency at the end.
+the definer's adjacency row in one operation.  Rows are symmetrized at
+the end but the public dict-of-sets ``adjacency`` stays *lazy*: the
+per-class coloring graphs (:func:`~repro.regalloc.igraph.build_alloc_graph`)
+read the symmetrized rows directly, so the Register-object sets are
+built exactly once — in the coloring graph — instead of once here and
+again per class per round.  Anything that does ask for ``adjacency``
+(the verifier, the visualizer, the reference comparisons) materializes
+it on first access and caches it.
 :func:`build_interference_reference` retains the direct set-based
 builder as the property-test oracle.
 
@@ -25,9 +31,6 @@ coalescing worklist every allocator variant starts from.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-from repro.analysis.indexing import iter_bits
 from repro.analysis.liveness import Liveness, compute_liveness
 from repro.cfg.analysis import CFG, build_cfg
 from repro.ir.function import Function
@@ -38,21 +41,87 @@ __all__ = [
     "InterferenceGraph",
     "build_interference",
     "build_interference_reference",
+    "scan_block_rows",
+    "symmetrize_rows",
+    "finish_interference",
 ]
 
 
-@dataclass(eq=False)
 class InterferenceGraph:
-    """Adjacency over virtual and physical registers, plus the move list."""
+    """Adjacency over virtual and physical registers, plus the move list.
 
-    adjacency: dict[Register, set[Register]] = field(default_factory=dict)
-    moves: list[Move] = field(default_factory=list)
+    Two backing representations coexist: the classic dict-of-sets
+    ``adjacency`` (always available, built eagerly by the reference
+    builder and by tests) and the dense bitmask form ``index`` + ``rows``
+    (symmetrized full rows keyed by dense id) the fast builder produces.
+    In the bitmask form ``adjacency`` is materialized lazily on first
+    access, so the common allocation path — which projects per-class
+    coloring graphs straight off the rows — never pays for the
+    function-wide set-of-Registers dictionary at all.
+    """
+
+    def __init__(
+        self,
+        adjacency: dict[Register, set[Register]] | None = None,
+        moves: list[Move] | None = None,
+        block_rows: dict[str, dict[int, int]] | None = None,
+        index=None,
+        rows: dict[int, int] | None = None,
+    ):
+        if adjacency is None and rows is None:
+            adjacency = {}
+        self._adjacency = adjacency
+        self.moves = moves if moves is not None else []
+        #: per-block one-sided row contributions (dense id -> neighbor
+        #: mask), populated by ``build_interference(collect_block_rows=
+        #: True)`` so incremental spill-round re-analysis can reuse
+        #: untouched blocks
+        self.block_rows = block_rows
+        #: dense register index / symmetrized full rows of the bitmask
+        #: form (None for eagerly-built graphs)
+        self.index = index
+        self.rows = rows
+
+    @property
+    def adjacency(self) -> dict[Register, set[Register]]:
+        adj = self._adjacency
+        if adj is None:
+            adj = self._adjacency = self._materialize()
+        return adj
+
+    @property
+    def materialized(self) -> bool:
+        return self._adjacency is not None
+
+    def _materialize(self) -> dict[Register, set[Register]]:
+        # Every indexed register becomes a node: the index covers exactly
+        # the parameters, defs and uses of the function, which is the
+        # same population the scan's live/def masks range over, so no
+        # indexed register can be absent.  Nodes are inserted in
+        # dense-id order — the deterministic first-encounter order of
+        # the index walk — which downstream tie-breaks depend on.
+        regs = self.index.regs
+        get = self.rows.get
+        adj: dict[Register, set[Register]] = {}
+        for i in range(len(regs)):
+            row = get(i, 0)
+            neighbors = set()
+            while row:
+                low = row & -row
+                neighbors.add(regs[low.bit_length() - 1])
+                row ^= low
+            adj[regs[i]] = neighbors
+        return adj
 
     def nodes(self) -> list[Register]:
+        if self._adjacency is None:
+            return list(self.index.regs)
         return list(self.adjacency)
 
     def vregs(self) -> list[VReg]:
-        return [n for n in self.adjacency if isinstance(n, VReg)]
+        source = (self.index.regs if self._adjacency is None
+                  else self.adjacency)
+        return [n for n in source if isinstance(n, VReg)]
 
     def nodes_by_class(self) -> dict[RegClass, list[Register]]:
         """Nodes partitioned by register class, in insertion order.
@@ -60,16 +129,38 @@ class InterferenceGraph:
         Computed once and cached so per-class projections
         (:func:`~repro.regalloc.igraph.build_alloc_graph`) do not rescan
         every node of the function for every class; the cache refreshes
-        if nodes were added since it was built.
+        if nodes were added since it was built.  The bitmask form
+        partitions ``index.regs`` directly — same population, same
+        order — without materializing any set.
         """
+        source = (self.index.regs if self._adjacency is None
+                  else self._adjacency)
         cached = getattr(self, "_class_cache", None)
-        if cached is not None and cached[0] == len(self.adjacency):
+        if cached is not None and cached[0] == len(source):
             return cached[1]
         partition: dict[RegClass, list[Register]] = {}
-        for node in self.adjacency:
+        for node in source:
             partition.setdefault(node.rclass, []).append(node)
-        self._class_cache = (len(self.adjacency), partition)
+        self._class_cache = (len(source), partition)
         return partition
+
+    def row_set(self, node: Register) -> set[Register] | None:
+        """``node``'s neighbor set straight off the bitmask row.
+
+        Returns None when the graph has no bitmask form.  Unlike
+        :meth:`neighbors` this never materializes the full adjacency;
+        the caller owns the returned set.
+        """
+        if self.rows is None:
+            return None
+        regs = self.index.regs
+        row = self.rows.get(self.index.ids[node], 0)
+        neighbors = set()
+        while row:
+            low = row & -row
+            neighbors.add(regs[low.bit_length() - 1])
+            row ^= low
+        return neighbors
 
     def ensure(self, node: Register) -> None:
         self.adjacency.setdefault(node, set())
@@ -96,12 +187,87 @@ class InterferenceGraph:
         return self.adjacency.get(node, set())
 
 
+def scan_block_rows(
+    blk,
+    index,
+    live_out: int,
+    rows: dict[int, int],
+    moves: list[Move],
+) -> None:
+    """Backward scan of one block, OR-ing one-sided rows into ``rows``.
+
+    ``live_out`` is the block's live-out bitmask.  The block's ``Move``
+    instructions are appended to ``moves`` in scan (reversed) order —
+    the same order :func:`build_interference` has always produced.
+    """
+    bit_of = index.bit_of
+    live = live_out
+    for instr in reversed(blk.instrs):
+        if isinstance(instr, Phi):
+            raise ValueError("interference runs after out-of-SSA")
+        defs = [d for d in instr.defs() if isinstance(d, (VReg, PReg))]
+        uses = [u for u in instr.uses() if isinstance(u, (VReg, PReg))]
+
+        if isinstance(instr, Move):
+            moves.append(instr)
+            if isinstance(instr.src, (VReg, PReg)):
+                live &= ~bit_of(instr.src)
+
+        defs_mask = 0
+        for d in defs:
+            defs_mask |= bit_of(d)
+        targets = live | defs_mask
+        for d in defs:
+            dbit = bit_of(d)
+            row = (targets & index.class_mask(d)) & ~dbit
+            if isinstance(d, PReg):
+                # Physical-physical edges are implicit, never stored.
+                row &= ~index.preg_mask
+            i = dbit.bit_length() - 1
+            rows[i] = rows.get(i, 0) | row
+
+        live &= ~defs_mask
+        for u in uses:
+            live |= bit_of(u)
+
+
+def symmetrize_rows(rows: dict[int, int]) -> None:
+    """Mirror one-sided ``rows`` in place: j in rows[i] => i in rows[j]."""
+    get = rows.get
+    for i, row in list(rows.items()):
+        bit = 1 << i
+        while row:
+            low = row & -row
+            j = low.bit_length() - 1
+            rows[j] = get(j, 0) | bit
+            row ^= low
+
+
+def finish_interference(
+    index, rows: dict[int, int], moves: list[Move]
+) -> InterferenceGraph:
+    """Symmetrize one-sided ``rows`` and wrap them as a (lazy) graph.
+
+    Mutates ``rows`` (the symmetrization is in place).  The returned
+    graph keeps the bitmask form; the dict-of-sets adjacency is only
+    materialized if someone asks for it.
+    """
+    symmetrize_rows(rows)
+    return InterferenceGraph(moves=moves, index=index, rows=rows)
+
+
 def build_interference(
     func: Function,
     cfg: CFG | None = None,
     liveness: Liveness | None = None,
+    collect_block_rows: bool = False,
 ) -> InterferenceGraph:
-    """Build the interference graph of a phi-free, lowered function."""
+    """Build the interference graph of a phi-free, lowered function.
+
+    ``collect_block_rows=True`` additionally records each block's
+    one-sided row contributions on the result's ``block_rows`` — the
+    state incremental spill-round re-analysis patches from.
+    """
     if cfg is None:
         cfg = build_cfg(func)
     if liveness is None:
@@ -110,63 +276,27 @@ def build_interference(
         return build_interference_reference(func, cfg, liveness)
 
     index = liveness.index
-    bit_of = index.bit_of
     out_mask = liveness.live_out_mask
 
-    graph = InterferenceGraph()
-    moves = graph.moves
-    #: dense id -> adjacency mask (one-sided; symmetrized below)
+    moves: list[Move] = []
+    #: dense id -> adjacency mask (one-sided; symmetrized at the end)
     rows: dict[int, int] = {}
-    seen = 0
-
-    for param in func.params:
-        seen |= bit_of(param)
+    block_rows: dict[str, dict[int, int]] | None = (
+        {} if collect_block_rows else None
+    )
 
     for blk in func.blocks:
-        live = out_mask[blk.label]
-        for instr in reversed(blk.instrs):
-            if isinstance(instr, Phi):
-                raise ValueError("interference runs after out-of-SSA")
-            defs = [d for d in instr.defs() if isinstance(d, (VReg, PReg))]
-            uses = [u for u in instr.uses() if isinstance(u, (VReg, PReg))]
-
-            if isinstance(instr, Move):
-                moves.append(instr)
-                if isinstance(instr.src, (VReg, PReg)):
-                    live &= ~bit_of(instr.src)
-
-            defs_mask = 0
-            for d in defs:
-                defs_mask |= bit_of(d)
-            seen |= defs_mask
-            targets = live | defs_mask
-            for d in defs:
-                dbit = bit_of(d)
-                row = (targets & index.class_mask(d)) & ~dbit
-                if isinstance(d, PReg):
-                    # Physical-physical edges are implicit, never stored.
-                    row &= ~index.preg_mask
-                i = dbit.bit_length() - 1
+        if block_rows is None:
+            scan_block_rows(blk, index, out_mask[blk.label], rows, moves)
+        else:
+            local: dict[int, int] = {}
+            scan_block_rows(blk, index, out_mask[blk.label], local, moves)
+            block_rows[blk.label] = local
+            for i, row in local.items():
                 rows[i] = rows.get(i, 0) | row
 
-            live &= ~defs_mask
-            for u in uses:
-                live |= bit_of(u)
-            seen |= live
-
-    # Symmetrize: every edge recorded on the definer's row lands on the
-    # partner's row too (cost: one pass over the stored edges).
-    for i, row in list(rows.items()):
-        bit = 1 << i
-        for j in iter_bits(row):
-            rows[j] = rows.get(j, 0) | bit
-
-    # Materialize the public dict-of-sets adjacency in dense-id order so
-    # node insertion order is deterministic.
-    regs = index.regs
-    adjacency = graph.adjacency
-    for i in iter_bits(seen):
-        adjacency[regs[i]] = {regs[j] for j in iter_bits(rows.get(i, 0))}
+    graph = finish_interference(index, rows, moves)
+    graph.block_rows = block_rows
     return graph
 
 

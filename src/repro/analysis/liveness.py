@@ -57,6 +57,11 @@ class Liveness:
     #: bitmask twins of ``live_in``/``live_out``, for mask-level consumers
     live_in_mask: dict[str, int] = field(default_factory=dict)
     live_out_mask: dict[str, int] = field(default_factory=dict)
+    #: bitmask twins of ``use``/``defs`` (the gen/kill summaries) — kept so
+    #: incremental spill-round re-analysis can reuse untouched blocks'
+    #: summaries without rescanning their instructions
+    use_mask: dict[str, int] = field(default_factory=dict)
+    defs_mask: dict[str, int] = field(default_factory=dict)
 
     def live_across_instr(self, block: BasicBlock, index: int) -> set[Register]:
         """Registers live immediately *after* ``block.instrs[index]``.
@@ -166,7 +171,7 @@ def compute_liveness(func: Function, cfg: CFG | None = None) -> Liveness:
                     pending.append(pred)
 
     result = Liveness(index=index, live_in_mask=live_in,
-                      live_out_mask=live_out)
+                      live_out_mask=live_out, use_mask=gen, defs_mask=kill)
     set_of = index.set_of
     for label, blk in blocks.items():
         result.live_in[label] = set_of(live_in[label])

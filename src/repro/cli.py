@@ -36,6 +36,7 @@ from repro.errors import ReproError, ServiceError
 from repro.ir.parser import parse_module
 from repro.ir.printer import print_function
 from repro.pipeline import allocate_module, prepare_module
+from repro.profiling import profiled
 from repro.regalloc import allocate_function
 from repro.reporting import canonical_json
 from repro.service.cache import ResultCache, default_cache_dir
@@ -79,6 +80,8 @@ def build_parser() -> argparse.ArgumentParser:
                        default="full")
     alloc.add_argument("--regs", type=int, default=24,
                        help="registers per class (default 24)")
+    alloc.add_argument("--profile", action="store_true",
+                       help="print a per-phase wall-clock profile to stderr")
     alloc.add_argument("--json", action="store_true",
                        help="emit the service response schema")
 
@@ -86,12 +89,16 @@ def build_parser() -> argparse.ArgumentParser:
                              help="run every allocator over an IR file")
     compare.add_argument("file", help="textual IR file ('-' for stdin)")
     compare.add_argument("--regs", type=int, default=24)
+    compare.add_argument("--profile", action="store_true",
+                         help="print a per-phase wall-clock profile to stderr")
     compare.add_argument("--json", action="store_true",
                          help="emit one service response per allocator")
 
     bench = sub.add_parser("bench", help="allocate a synthetic benchmark")
     bench.add_argument("name", choices=BENCHMARK_NAMES)
     bench.add_argument("--regs", type=int, default=16)
+    bench.add_argument("--profile", action="store_true",
+                       help="print a per-phase wall-clock profile to stderr")
     bench.add_argument("--json", action="store_true",
                        help="emit one service response per allocator")
 
@@ -146,11 +153,11 @@ def main(argv: list[str] | None = None,
     args = build_parser().parse_args(argv)
     try:
         if args.command == "alloc":
-            return _cmd_alloc(args, out) or 0
+            return _maybe_profiled(args, lambda: _cmd_alloc(args, out))
         elif args.command == "compare":
-            _cmd_compare(args, out)
+            _maybe_profiled(args, lambda: _cmd_compare(args, out))
         elif args.command == "bench":
-            _cmd_bench(args, out)
+            _maybe_profiled(args, lambda: _cmd_bench(args, out))
         elif args.command == "serve":
             _cmd_serve(args, out)
         elif args.command == "submit":
@@ -170,6 +177,32 @@ def main(argv: list[str] | None = None,
     except BrokenPipeError:  # e.g. `python -m repro targets | head`
         return 0
     return 0
+
+
+def _maybe_profiled(args, thunk) -> int:
+    """Run ``thunk``, honoring ``--profile``.
+
+    The phase table goes to stderr so ``--json`` output (whose response
+    schema is sealed and digest-checked by the service cache) stays
+    untouched.
+    """
+    if not getattr(args, "profile", False):
+        return thunk() or 0
+    with profiled() as prof:
+        code = thunk() or 0
+    _print_phase_table(prof.snapshot(), sys.stderr)
+    return code
+
+
+def _print_phase_table(snapshot: dict, out) -> None:
+    if not snapshot:
+        print("; no phases recorded", file=out)
+        return
+    print(f"; {'phase':36s} {'seconds':>10s} {'calls':>8s}", file=out)
+    for path, entry in sorted(snapshot.items(),
+                              key=lambda kv: -kv[1]["s"]):
+        print(f"; {path:36s} {entry['s']:>10.4f} {entry['calls']:>8d}",
+              file=out)
 
 
 def _read_text(path: str) -> str:

@@ -22,6 +22,7 @@ from repro.core.postpass import aggressive_post_coalesce
 from repro.core.prefs import PreferenceConfig, build_rpg
 from repro.core.select import PreferenceSelector, SelectionTrace
 from repro.ir.values import VReg
+from repro.profiling import phase
 from repro.regalloc.base import Allocator, RoundContext, RoundOutcome
 from repro.regalloc.simplify import simplify
 
@@ -50,19 +51,21 @@ class PreferenceDirectedAllocator(Allocator):
 
     def allocate_round(self, ctx: RoundContext) -> RoundOutcome:
         outcome = RoundOutcome()
-        costs = CostModel(ctx.func, ctx.machine, ctx.cfg, ctx.loops,
-                          ctx.liveness)
-        rpg = build_rpg(ctx.func, ctx.machine, costs, self.config)
+        with phase("build-RPG"):
+            costs = CostModel(ctx.func, ctx.machine, ctx.cfg, ctx.loops,
+                              ctx.liveness)
+            rpg = build_rpg(ctx.func, ctx.machine, costs, self.config)
         trace = SelectionTrace() if self.keep_trace else None
 
         for rclass in ctx.classes():
             graph = ctx.graph(rclass)
             wig = graph.snapshot_active_adjacency()
             simplification = simplify(graph, optimistic=True)
-            if self.use_cpg:
-                cpg = build_cpg(graph, wig, simplification)
-            else:
-                cpg = _chain_cpg(simplification)
+            with phase("CPG"):
+                if self.use_cpg:
+                    cpg = build_cpg(graph, wig, simplification)
+                else:
+                    cpg = _chain_cpg(simplification)
             selector = PreferenceSelector(
                 graph=graph,
                 rpg=rpg,

@@ -48,7 +48,8 @@ from repro.core.rpg import (
 from repro.errors import AllocationError
 from repro.ir.values import PReg, VReg
 from repro.regalloc.igraph import AllocGraph
-from repro.regalloc.select import order_colors
+from repro.profiling import phase
+from repro.regalloc.select import order_colors_cached
 from repro.target.machine import RegisterFile, TargetMachine
 
 __all__ = ["PreferenceSelector", "SelectionTrace"]
@@ -116,8 +117,10 @@ class PreferenceSelector:
                 vol |= 1 << i
         self._vol_mask = vol
         self._nonvol_mask = self._all_mask & ~vol
+        # Memoized: the fallback order depends only on (regfile, colors,
+        # policy), yet a selector is instantiated per class per round.
         self._fallback = list(
-            order_colors(colors, self.regfile, self.fallback_policy)
+            order_colors_cached(colors, self.regfile, self.fallback_policy)
         )
         #: per-node mask of colors claimed by neighbors (lazily seeded
         #: from the current assignment, then maintained incrementally)
@@ -136,16 +139,17 @@ class PreferenceSelector:
         }
         queue: set[VReg] = {n for n, d in indegree.items() if d == 0}
 
-        while queue:
-            node = self._choose_node(queue)
-            queue.discard(node)
-            self._color_node(node)
-            for succ in self.cpg.succs.get(node, ()):
-                if succ == BOTTOM or not isinstance(succ, VReg):
-                    continue
-                indegree[succ] -= 1
-                if indegree[succ] == 0:
-                    queue.add(succ)
+        with phase("select"):
+            while queue:
+                node = self._choose_node(queue)
+                queue.discard(node)
+                self._color_node(node)
+                for succ in self.cpg.succs.get(node, ()):
+                    if succ == BOTTOM or not isinstance(succ, VReg):
+                        continue
+                    indegree[succ] -= 1
+                    if indegree[succ] == 0:
+                        queue.add(succ)
 
     # ------------------------------------------------------------------
     # step 2-3: node choice

@@ -27,6 +27,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from weakref import WeakKeyDictionary
 
+from repro.analysis.incremental import incremental_mode
 from repro.analysis.renumber import renumber
 from repro.ir.clone import clone_function, clone_module
 from repro.ir.function import Function, Module
@@ -39,6 +40,7 @@ from repro.regalloc.base import (
     allocate_function,
     compute_round_analyses,
 )
+from repro.profiling import phase
 from repro.regalloc.verify import verify_allocation
 from repro.sim.cycles import CycleReport, estimate_cycles
 from repro.ssa.construct import to_ssa
@@ -64,13 +66,14 @@ class ModuleAllocation:
 
 def prepare_function(func: Function, machine: TargetMachine) -> Function:
     """Run the pre-allocation pipeline on ``func`` in place."""
-    validate_function(func)
-    to_ssa(func)
-    validate_function(func, ssa=True)
-    eliminate_dead_code(func)
-    from_ssa(func)
-    lower_function(func, machine)
-    validate_function(func)
+    with phase("prepare"):
+        validate_function(func)
+        to_ssa(func)
+        validate_function(func, ssa=True)
+        eliminate_dead_code(func)
+        from_ssa(func)
+        lower_function(func, machine)
+        validate_function(func)
     return func
 
 
@@ -97,11 +100,16 @@ def round0_analyses(prepared_func: Function) -> RoundAnalyses:
     ``prepared_func`` renumbers to the same names (renumbering is
     deterministic), so the analyses transfer to any round 0.
     """
+    # Collect the per-block summaries whenever incremental spill rounds
+    # are enabled, so a cached round 0 can be patched by round 1.  A
+    # cache entry built in the other mode is rebuilt rather than reused
+    # (apply_delta would just fall back every round otherwise).
+    collect = incremental_mode() != "off"
     cached = _round0_cache.get(prepared_func)
-    if cached is None:
+    if cached is None or (collect and cached.block_rows is None):
         ref = clone_function(prepared_func)
         renumber(ref)
-        cached = compute_round_analyses(ref)
+        cached = compute_round_analyses(ref, collect_deltas=collect)
         _round0_cache[prepared_func] = cached
     return cached
 

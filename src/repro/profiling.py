@@ -1,0 +1,128 @@
+"""Per-phase wall-clock profiling with a negligible-overhead off mode.
+
+The allocator pipeline is instrumented with ``with phase("name"):``
+blocks at every interesting boundary (prepare / renumber / liveness /
+interference / build-RPG / simplify / CPG / select / spill-insert /
+rewrite).  When no profiler is active — the default — ``phase`` returns
+one shared no-op context manager: the cost is a thread-local read and an
+empty ``__enter__``/``__exit__`` pair, cheap enough to leave the
+instrumentation permanently in place.
+
+Activating a profiler is scoped and thread-local::
+
+    with profiled() as prof:
+        allocate_module(prepared, machine, allocator)
+    print(prof.snapshot())
+
+Nested phases accumulate under slash-joined paths
+(``"reanalyze/liveness"``), so a snapshot is a flat
+``{path: {"s": seconds, "calls": n}}`` table that serializes directly
+into bench reports and service metrics.  Phases on other threads (or in
+process-pool workers) are invisible to the activating thread's profiler;
+profile with ``jobs=1`` when a complete breakdown matters.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+__all__ = ["Profiler", "phase", "profiled", "merge_snapshots"]
+
+_tls = threading.local()
+
+
+class _NullPhase:
+    """Shared do-nothing span handed out while no profiler is active."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullPhase":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_PHASE = _NullPhase()
+
+
+class _Span:
+    """One timed entry/exit of a named phase on the active profiler."""
+
+    __slots__ = ("_profiler", "_name", "_path", "_t0")
+
+    def __init__(self, profiler: "Profiler", name: str):
+        self._profiler = profiler
+        self._name = name
+
+    def __enter__(self) -> "_Span":
+        stack = self._profiler._stack
+        self._path = f"{stack[-1]}/{self._name}" if stack else self._name
+        stack.append(self._path)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        elapsed = time.perf_counter() - self._t0
+        self._profiler._stack.pop()
+        acc = self._profiler._acc.get(self._path)
+        if acc is None:
+            self._profiler._acc[self._path] = [elapsed, 1]
+        else:
+            acc[0] += elapsed
+            acc[1] += 1
+        return False
+
+
+class Profiler:
+    """Accumulates per-path wall time and call counts."""
+
+    def __init__(self) -> None:
+        #: path -> [seconds, calls]
+        self._acc: dict[str, list] = {}
+        self._stack: list[str] = []
+
+    def snapshot(self, digits: int = 6) -> dict[str, dict]:
+        """``{path: {"s": seconds, "calls": n}}`` in first-seen order."""
+        return {
+            path: {"s": round(acc[0], digits), "calls": acc[1]}
+            for path, acc in self._acc.items()
+        }
+
+    def total(self, path: str) -> float:
+        """Accumulated seconds under ``path`` (0.0 when never entered)."""
+        acc = self._acc.get(path)
+        return acc[0] if acc else 0.0
+
+
+def phase(name: str):
+    """A context manager timing ``name`` on the active profiler, if any."""
+    profiler = getattr(_tls, "profiler", None)
+    if profiler is None:
+        return _NULL_PHASE
+    return _Span(profiler, name)
+
+
+@contextmanager
+def profiled():
+    """Activate a fresh :class:`Profiler` on this thread; yields it."""
+    previous = getattr(_tls, "profiler", None)
+    profiler = Profiler()
+    _tls.profiler = profiler
+    try:
+        yield profiler
+    finally:
+        _tls.profiler = previous
+
+
+def merge_snapshots(snapshots) -> dict[str, dict]:
+    """Sum several :meth:`Profiler.snapshot` tables path-by-path."""
+    merged: dict[str, dict] = {}
+    for snap in snapshots:
+        for path, entry in snap.items():
+            slot = merged.setdefault(path, {"s": 0.0, "calls": 0})
+            slot["s"] = round(slot["s"] + entry["s"], 6)
+            slot["calls"] += entry["calls"]
+    return merged

@@ -14,18 +14,27 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass, field
 
+from repro.analysis.incremental import (
+    apply_spill_delta,
+    compare_analyses,
+    incremental_mode,
+)
 from repro.analysis.interference import InterferenceGraph, build_interference
 from repro.analysis.liveness import Liveness, compute_liveness
-from repro.analysis.renumber import renumber
+from repro.analysis.renumber import RenumberResult, renumber
 from repro.cfg.analysis import CFG, build_cfg
 from repro.cfg.loops import LoopInfo, compute_loops
 from repro.errors import AllocationError
 from repro.ir.function import Function
 from repro.ir.instructions import Move, SpillLoad, SpillStore
 from repro.ir.values import PReg, RegClass, Register, VReg
-from repro.regalloc.costs import compute_spill_costs
+from repro.profiling import phase
+from repro.regalloc.costs import (
+    compute_spill_costs,
+    compute_spill_costs_by_block,
+)
 from repro.regalloc.igraph import AllocGraph, build_alloc_graph
-from repro.regalloc.spill import insert_spill_code
+from repro.regalloc.spill import SpillDelta, insert_spill_code
 from repro.target.machine import TargetMachine
 
 __all__ = [
@@ -113,6 +122,35 @@ class RoundAnalyses:
     liveness: Liveness
     ig: InterferenceGraph
     spill_costs: dict[VReg, float]
+    #: per-block one-sided interference rows / cost contributions, kept
+    #: when incremental spill rounds are enabled so the next round can
+    #: patch instead of rebuild (None when computed without collection)
+    block_rows: dict[str, dict[int, int]] | None = None
+    block_costs: dict[str, dict[VReg, float]] | None = None
+
+    def apply_delta(
+        self,
+        func: Function,
+        delta: SpillDelta,
+        renumbering: RenumberResult,
+    ) -> "RoundAnalyses | None":
+        """These analyses patched through one spill round of ``func``.
+
+        ``func`` must already be spill-rewritten and renumbered.  The
+        CFG and loop nest are reused outright (spill code is
+        branch-free); liveness, interference, and spill costs are
+        patched from the touched blocks.  Returns ``None`` when a
+        patch precondition fails — the caller falls back to
+        :func:`compute_round_analyses`.
+        """
+        patched = apply_spill_delta(func, self, delta, renumbering)
+        if patched is None:
+            return None
+        return RoundAnalyses(
+            cfg=self.cfg, loops=self.loops, liveness=patched.liveness,
+            ig=patched.ig, spill_costs=patched.spill_costs,
+            block_rows=patched.block_rows, block_costs=patched.block_costs,
+        )
 
     def ig_for(self, func: Function) -> InterferenceGraph | None:
         """The cached graph rebased onto ``func``'s own move instructions.
@@ -133,20 +171,44 @@ class RoundAnalyses:
             a.dst != b.dst or a.src != b.src for a, b in zip(moves, ref)
         ):
             return None
-        # The adjacency dict is shared (read-only to every allocator);
-        # the fresh instance keeps per-use caches (nodes_by_class) local.
-        return InterferenceGraph(adjacency=self.ig.adjacency, moves=moves)
+        # The backing store is shared (read-only to every allocator) in
+        # whichever form the cached graph has — bitmask rows when the
+        # adjacency was never materialized, the dict otherwise; the
+        # fresh instance keeps per-use caches (nodes_by_class) local.
+        ig = self.ig
+        if ig.materialized:
+            return InterferenceGraph(adjacency=ig.adjacency, moves=moves)
+        return InterferenceGraph(moves=moves, index=ig.index, rows=ig.rows)
 
 
-def compute_round_analyses(func: Function) -> RoundAnalyses:
-    """Analyze one (already renumbered) function for an allocation round."""
-    cfg = build_cfg(func)
-    loops = compute_loops(cfg)
-    liveness = compute_liveness(func, cfg)
-    ig = build_interference(func, cfg, liveness)
-    spill_costs = compute_spill_costs(func, loops, cfg)
+def compute_round_analyses(
+    func: Function, collect_deltas: bool = False
+) -> RoundAnalyses:
+    """Analyze one (already renumbered) function for an allocation round.
+
+    ``collect_deltas=True`` additionally retains the per-block summaries
+    (interference rows, cost contributions) that let a later spill round
+    patch these analyses via :meth:`RoundAnalyses.apply_delta`.
+    """
+    with phase("cfg"):
+        cfg = build_cfg(func)
+        loops = compute_loops(cfg)
+    with phase("liveness"):
+        liveness = compute_liveness(func, cfg)
+    with phase("interference"):
+        ig = build_interference(func, cfg, liveness,
+                                collect_block_rows=collect_deltas)
+    with phase("spill-costs"):
+        if collect_deltas:
+            spill_costs, block_costs = compute_spill_costs_by_block(
+                func, loops, cfg
+            )
+        else:
+            spill_costs = compute_spill_costs(func, loops, cfg)
+            block_costs = None
     return RoundAnalyses(cfg=cfg, loops=loops, liveness=liveness, ig=ig,
-                         spill_costs=spill_costs)
+                         spill_costs=spill_costs, block_rows=ig.block_rows,
+                         block_costs=block_costs)
 
 
 class Allocator(abc.ABC):
@@ -244,19 +306,38 @@ def allocate_function(
 
     ``round0`` supplies precomputed first-round analyses (from
     :func:`compute_round_analyses` on a renumbered clone of the same
-    prepared function); spill rounds always re-analyze.
+    prepared function).  Spill rounds patch the previous round's
+    analyses through the spill delta when possible
+    (:meth:`RoundAnalyses.apply_delta`), falling back to a from-scratch
+    re-analysis; ``REPRO_INCREMENTAL_ROUNDS=0`` forces the fallback and
+    ``=validate`` runs both paths, raising on any divergence.
     """
     stats = AllocationStats(allocator=allocator.name)
-    loops_for_count = compute_loops(build_cfg(func))
+    # The move-count loop nest is the same one round 0 will use; reuse
+    # the cached copy instead of re-deriving CFG + loops when available.
+    if round0 is not None:
+        loops_for_count = round0.loops
+    else:
+        loops_for_count = compute_loops(build_cfg(func))
     stats.moves_before, stats.moves_before_weighted = _count_moves(
         func, loops_for_count, stats
     )
 
+    inc_mode = incremental_mode()
+    collect = inc_mode != "off"
     outcome: RoundOutcome | None = None
     ctx: RoundContext | None = None
+    prev_analyses: RoundAnalyses | None = None
+    delta: SpillDelta | None = None
     for round_index in range(max_rounds):
         stats.rounds = round_index + 1
-        renumber(func)
+        with phase("renumber"):
+            # The CFG never changes across spill rounds; hand the
+            # previous round's to renumber so it skips a rebuild.
+            ren = renumber(
+                func,
+                cfg=prev_analyses.cfg if prev_analyses is not None else None,
+            )
         analyses = None
         if round_index == 0 and round0 is not None:
             ig = round0.ig_for(func)
@@ -265,9 +346,29 @@ def allocate_function(
                     cfg=round0.cfg, loops=round0.loops,
                     liveness=round0.liveness, ig=ig,
                     spill_costs=round0.spill_costs,
+                    block_rows=round0.block_rows,
+                    block_costs=round0.block_costs,
                 )
+        if (analyses is None and delta is not None
+                and prev_analyses is not None and inc_mode != "off"):
+            with phase("reanalyze"):
+                analyses = prev_analyses.apply_delta(func, delta, ren)
+            if inc_mode == "validate":
+                fresh = compute_round_analyses(func, collect_deltas=True)
+                if analyses is not None:
+                    problems = compare_analyses(analyses, fresh)
+                    if problems:
+                        raise AllocationError(
+                            "incremental round analyses diverged: "
+                            + "; ".join(problems)
+                        )
+                else:
+                    analyses = fresh
         if analyses is None:
-            analyses = compute_round_analyses(func)
+            with phase("analyze" if round_index == 0 else "reanalyze"):
+                analyses = compute_round_analyses(
+                    func, collect_deltas=collect
+                )
         ctx = RoundContext(
             func=func,
             machine=machine,
@@ -278,22 +379,27 @@ def allocate_function(
             spill_costs=analyses.spill_costs,
             round_index=round_index,
         )
-        outcome = allocator.allocate_round(ctx)
+        with phase("color"):
+            outcome = allocator.allocate_round(ctx)
         stats.coalesced_count += outcome.coalesced_count
         stats.biased_hits += outcome.biased_hits
         if not outcome.spilled:
             break
         stats.spilled_webs += len(outcome.spilled)
-        insert_spill_code(func, outcome.spilled,
-                          rematerialize=rematerialize)
+        with phase("spill-insert"):
+            report = insert_spill_code(func, outcome.spilled,
+                                       rematerialize=rematerialize)
+        delta = report.delta
+        prev_analyses = analyses
     else:
         raise AllocationError(
             f"{allocator.name}: no fixed point after {max_rounds} rounds"
         )
 
     assert outcome is not None and ctx is not None
-    assignment = _full_assignment(func, outcome)
-    _rewrite(func, assignment, ctx.loops, machine, stats)
+    with phase("rewrite"):
+        assignment = _full_assignment(func, outcome)
+        _rewrite(func, assignment, ctx.loops, machine, stats)
     return AllocationResult(
         func=func, machine=machine, stats=stats, assignment=assignment
     )

@@ -21,6 +21,7 @@ from repro.core.costs import CostModel
 from repro.errors import AllocationError
 from repro.ir.instructions import Call
 from repro.ir.values import PReg, VReg
+from repro.profiling import phase
 from repro.regalloc.base import Allocator, RoundContext, RoundOutcome
 from repro.regalloc.coalesce import coalesce_aggressive
 from repro.regalloc.igraph import AllocGraph
@@ -44,9 +45,10 @@ class CallCostAllocator(Allocator):
             outcome.coalesced_count += coalesce_aggressive(graph)
 
             benefit_vol, benefit_nonvol = self._benefits(graph, costs)
-            stack = self._benefit_driven_simplify(
-                graph, benefit_vol, benefit_nonvol, outcome
-            )
+            with phase("simplify"):
+                stack = self._benefit_driven_simplify(
+                    graph, benefit_vol, benefit_nonvol, outcome
+                )
             outcome.alias.update(graph.alias)
             if outcome.spilled:
                 continue  # Chaitin-style: spill code first, retry round
@@ -54,8 +56,9 @@ class CallCostAllocator(Allocator):
             forced_volatile = self._preference_decision(
                 ctx, graph, rclass, benefit_nonvol
             )
-            self._select(ctx, graph, rclass, stack, benefit_vol,
-                         benefit_nonvol, forced_volatile, outcome)
+            with phase("select"):
+                self._select(ctx, graph, rclass, stack, benefit_vol,
+                             benefit_nonvol, forced_volatile, outcome)
         return outcome
 
     # ------------------------------------------------------------------

@@ -20,7 +20,8 @@ from repro.cfg.loops import LoopInfo, compute_loops
 from repro.ir.function import Function
 from repro.ir.values import VReg
 
-__all__ = ["LOAD_COST", "STORE_COST", "compute_spill_costs"]
+__all__ = ["LOAD_COST", "STORE_COST", "compute_spill_costs",
+           "block_spill_costs", "compute_spill_costs_by_block"]
 
 #: Appendix: Load_Cost(I) is 2, Store_Cost(I) is 1.
 LOAD_COST = 2
@@ -51,3 +52,46 @@ def compute_spill_costs(
         if isinstance(param, VReg):
             costs.setdefault(param, 0.0)
     return costs
+
+
+def block_spill_costs(block, freq: float) -> dict[VReg, float]:
+    """One block's frequency-weighted contribution to the spill costs."""
+    costs: dict[VReg, float] = {}
+    for instr in block.instrs:
+        for u in instr.uses():
+            if isinstance(u, VReg):
+                costs[u] = costs.get(u, 0.0) + LOAD_COST * freq
+        for d in instr.defs():
+            if isinstance(d, VReg):
+                costs[d] = costs.get(d, 0.0) + STORE_COST * freq
+    return costs
+
+
+def compute_spill_costs_by_block(
+    func: Function,
+    loops: LoopInfo | None = None,
+    cfg: CFG | None = None,
+) -> tuple[dict[VReg, float], dict[str, dict[VReg, float]]]:
+    """Spill costs plus the per-block contribution tables they sum from.
+
+    The totals equal :func:`compute_spill_costs` exactly: every term is
+    an integer-valued float (loop frequencies are powers of ten), so the
+    two summation orders cannot disagree.  The per-block tables feed
+    incremental spill-round re-analysis, which re-derives only the
+    blocks spill insertion touched.
+    """
+    if cfg is None:
+        cfg = build_cfg(func)
+    if loops is None:
+        loops = compute_loops(cfg)
+    totals: dict[VReg, float] = {}
+    per_block: dict[str, dict[VReg, float]] = {}
+    for blk in func.blocks:
+        local = block_spill_costs(blk, loops.freq(blk.label))
+        per_block[blk.label] = local
+        for v, c in local.items():
+            totals[v] = totals.get(v, 0.0) + c
+    for param in func.params:
+        if isinstance(param, VReg):
+            totals.setdefault(param, 0.0)
+    return totals, per_block

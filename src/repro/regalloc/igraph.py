@@ -216,10 +216,13 @@ def build_alloc_graph(
     )
     # Pre-partitioned projection: only this class's nodes are visited,
     # and every vreg starts active, so its degree is just its row size
-    # (interference edges never cross classes).
+    # (interference edges never cross classes).  A bitmask-form graph
+    # hands out each neighbor set directly from its rows, so the
+    # function-wide adjacency dict never needs to exist.
     class_nodes = ig.nodes_by_class().get(rclass, [])
+    from_rows = ig.rows is not None and not ig.materialized
     for node in class_nodes:
-        row = set(ig.neighbors(node))
+        row = ig.row_set(node) if from_rows else set(ig.neighbors(node))
         graph.adj[node] = row
         if isinstance(node, VReg):
             graph.active.add(node)

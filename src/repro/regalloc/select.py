@@ -21,10 +21,11 @@ from typing import Iterable, Sequence
 
 from repro.errors import AllocationError
 from repro.ir.values import PReg, Register, VReg
+from repro.profiling import phase
 from repro.regalloc.igraph import AllocGraph
 from repro.target.machine import RegisterFile
 
-__all__ = ["SelectResult", "select", "order_colors"]
+__all__ = ["SelectResult", "select", "order_colors", "order_colors_cached"]
 
 
 @dataclass(eq=False)
@@ -54,6 +55,25 @@ def order_colors(colors: Sequence[PReg], regfile: RegisterFile,
     raise AllocationError(f"unknown color policy {policy!r}")
 
 
+#: (regfile, colors, policy) -> ordered colors.  Register files are
+#: frozen dataclasses and color sets are tuples, so the key is stable;
+#: the handful of (machine, policy) pairs a process ever sees makes the
+#: cache effectively bounded.
+_ORDER_CACHE: dict[tuple, tuple[PReg, ...]] = {}
+
+
+def order_colors_cached(colors: Sequence[PReg], regfile: RegisterFile,
+                        policy: str) -> tuple[PReg, ...]:
+    """Memoized :func:`order_colors` (derived once per file and policy)."""
+    key = (regfile, tuple(colors), policy)
+    cached = _ORDER_CACHE.get(key)
+    if cached is None:
+        cached = _ORDER_CACHE[key] = tuple(
+            order_colors(colors, regfile, policy)
+        )
+    return cached
+
+
 def forbidden_colors(
     graph: AllocGraph,
     node: VReg,
@@ -81,8 +101,15 @@ def select(
     """Color ``order`` (pop order) over ``graph``."""
     optimistic_nodes = optimistic_nodes or set()
     result = SelectResult()
-    preference_order = order_colors(graph.colors, regfile, policy)
+    preference_order = order_colors_cached(graph.colors, regfile, policy)
 
+    with phase("select"):
+        return _select_loop(graph, order, optimistic_nodes, biased,
+                            preference_order, result)
+
+
+def _select_loop(graph, order, optimistic_nodes, biased, preference_order,
+                 result):
     for node in order:
         forbidden = forbidden_colors(graph, node, result.assignment)
         available = [c for c in preference_order if c not in forbidden]

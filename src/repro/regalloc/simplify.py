@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import AllocationError
 from repro.ir.values import VReg
+from repro.profiling import phase
 from repro.regalloc.igraph import AllocGraph
 
 __all__ = ["SimplifyResult", "simplify", "choose_spill_candidate"]
@@ -52,9 +53,8 @@ def choose_spill_candidate(graph: AllocGraph, nodes) -> VReg:
     for node in nodes:
         degree = max(graph.degree(node), 1)
         metric = graph.spill_cost(node) / degree
-        if metric < best_metric or (
+        if best is None or metric < best_metric or (
             metric == best_metric
-            and best is not None
             and _tie_break(node) < _tie_break(best)
         ):
             best = node
@@ -82,23 +82,25 @@ def simplify(graph: AllocGraph, optimistic: bool = True) -> SimplifyResult:
     interleaves its own simplify loop and does not call this one).
     """
     result = SimplifyResult()
-    # Deterministic worklist: sort once, then maintain incrementally.
-    while graph.active:
-        low = [n for n in graph.active if not graph.significant(n)]
-        if low:
-            # Remove all currently-low-degree nodes in a deterministic
-            # order; removing one can only lower other degrees, so batch
-            # removal stays valid and is much faster than re-scanning.
-            for node in sorted(low, key=_tie_break):
-                if node in graph.active and not graph.significant(node):
-                    graph.remove(node)
-                    result.stack.append(node)
-            continue
-        candidate = choose_spill_candidate(graph, graph.active)
-        graph.remove(candidate)
-        if optimistic:
-            result.stack.append(candidate)
-            result.optimistic.add(candidate)
-        else:
-            result.spilled.add(candidate)
+    with phase("simplify"):
+        # Deterministic worklist: sort once, then maintain incrementally.
+        while graph.active:
+            low = [n for n in graph.active if not graph.significant(n)]
+            if low:
+                # Remove all currently-low-degree nodes in a deterministic
+                # order; removing one can only lower other degrees, so
+                # batch removal stays valid and is much faster than
+                # re-scanning.
+                for node in sorted(low, key=_tie_break):
+                    if node in graph.active and not graph.significant(node):
+                        graph.remove(node)
+                        result.stack.append(node)
+                continue
+            candidate = choose_spill_candidate(graph, graph.active)
+            graph.remove(candidate)
+            if optimistic:
+                result.stack.append(candidate)
+                result.optimistic.add(candidate)
+            else:
+                result.spilled.add(candidate)
     return result

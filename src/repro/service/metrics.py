@@ -78,10 +78,23 @@ class ServiceMetrics:
         }
         self.queue_depth = 0
         self.queue_depth_max = 0
+        #: accumulated allocator phase profile (path -> {s, calls}) from
+        #: :func:`repro.profiling` snapshots of executed requests
+        self.alloc_phases: dict[str, dict] = {}
 
     def observe(self, phase: str, seconds: float) -> None:
         with self._lock:
             self.latency[phase].observe(seconds)
+
+    def record_phases(self, snapshot: dict) -> None:
+        """Fold one :meth:`repro.profiling.Profiler.snapshot` in."""
+        with self._lock:
+            for path, entry in snapshot.items():
+                slot = self.alloc_phases.setdefault(
+                    path, {"s": 0.0, "calls": 0}
+                )
+                slot["s"] += entry["s"]
+                slot["calls"] += entry["calls"]
 
     def inc(self, counter: str, by: int = 1) -> None:
         with self._lock:
@@ -108,5 +121,10 @@ class ServiceMetrics:
                 "latency": {
                     phase: hist.snapshot()
                     for phase, hist in self.latency.items()
+                },
+                "alloc_phases": {
+                    path: {"s": round(entry["s"], 6),
+                           "calls": entry["calls"]}
+                    for path, entry in self.alloc_phases.items()
                 },
             }

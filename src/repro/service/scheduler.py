@@ -37,6 +37,7 @@ from repro.ir.function import Module
 from repro.ir.parser import parse_module
 from repro.ir.printer import print_function, print_module
 from repro.pipeline import ModuleAllocation, allocate_module, prepare_module
+from repro.profiling import profiled
 from repro.regalloc import (
     BriggsAllocator,
     CallCostAllocator,
@@ -296,10 +297,12 @@ class Scheduler:
             self.metrics.observe("prepare", timings["prepare_s"])
 
             t0 = perf_counter()
-            response = execute_request(
-                request, jobs=self.jobs, effective_allocator=effective,
-                prepared=prepared, machine=machine,
-            )
+            with profiled() as prof:
+                response = execute_request(
+                    request, jobs=self.jobs, effective_allocator=effective,
+                    prepared=prepared, machine=machine,
+                )
+            self.metrics.record_phases(prof.snapshot())
             timings["allocate_s"] = round(perf_counter() - t0, 6)
             self.metrics.observe("allocate", timings["allocate_s"])
 

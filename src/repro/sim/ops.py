@@ -26,6 +26,21 @@ def _wrap(value: int) -> int:
     return value
 
 
+def _saturate_ftoi(a: float) -> int:
+    """Float-to-int with defined results for NaN and the infinities.
+
+    Hardware conversions saturate (or raise, which we cannot); NaN maps
+    to 0 like RISC-V's fcvt writes a canonical value rather than trapping.
+    """
+    if a != a:  # NaN
+        return 0
+    if a >= float(1 << 63):
+        return (1 << 63) - 1
+    if a < -float(1 << 63):
+        return -(1 << 63)
+    return _wrap(int(a))
+
+
 def apply_binop(op: str, a, b):
     """Evaluate a binary opcode on Python numbers."""
     if op == "add":
@@ -88,7 +103,7 @@ def apply_unop(op: str, a):
     if op == "itof":
         return float(a)
     if op == "ftoi":
-        return _wrap(int(a))
+        return _saturate_ftoi(float(a))
     raise SimulationError(f"unknown unary op {op!r}")
 
 

@@ -7,6 +7,10 @@ from repro.workloads.profiles import (
     SPEC_PROFILES,
     BenchmarkProfile,
 )
+from repro.workloads.spillstress import (
+    spill_stress_function,
+    spill_stress_module,
+)
 from repro.workloads.suite import make_benchmark, make_suite
 
 __all__ = [
@@ -18,4 +22,6 @@ __all__ = [
     "BENCHMARK_NAMES",
     "make_benchmark",
     "make_suite",
+    "spill_stress_function",
+    "spill_stress_module",
 ]

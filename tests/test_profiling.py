@@ -1,0 +1,110 @@
+"""The per-phase profiler: accumulation, nesting, and its wiring."""
+
+from __future__ import annotations
+
+import io
+import time
+
+from repro.cli import main
+from repro.ir.clone import clone_function
+from repro.pipeline import prepare_module
+from repro.profiling import merge_snapshots, phase, profiled
+from repro.regalloc import ChaitinAllocator
+from repro.regalloc.base import allocate_function
+from repro.service.metrics import ServiceMetrics
+from repro.target.presets import make_machine
+from repro.workloads.spillstress import spill_stress_function
+from repro.ir.function import Module
+
+
+class TestProfiler:
+    def test_inactive_phase_is_noop(self):
+        # Outside `profiled()` every call hands back the one shared
+        # null span; nothing is recorded anywhere.
+        span = phase("anything")
+        assert phase("other") is span
+        with span:
+            pass
+
+    def test_paths_nest_and_accumulate(self):
+        with profiled() as prof:
+            for _ in range(3):
+                with phase("outer"):
+                    with phase("inner"):
+                        time.sleep(0.001)
+        snap = prof.snapshot()
+        assert set(snap) == {"outer", "outer/inner"}
+        assert snap["outer"]["calls"] == 3
+        assert snap["outer/inner"]["calls"] == 3
+        assert snap["outer"]["s"] >= snap["outer/inner"]["s"] > 0
+
+    def test_total_and_missing_path(self):
+        with profiled() as prof:
+            with phase("a"):
+                pass
+        assert prof.total("a") > 0
+        assert prof.total("never") == 0.0
+
+    def test_nested_activation_restores_previous(self):
+        with profiled() as outer:
+            with phase("before"):
+                pass
+            with profiled() as inner:
+                with phase("shadowed"):
+                    pass
+            with phase("after"):
+                pass
+        assert set(inner.snapshot()) == {"shadowed"}
+        assert set(outer.snapshot()) == {"before", "after"}
+        assert phase("outside").__class__.__name__ == "_NullPhase"
+
+    def test_merge_snapshots(self):
+        a = {"x": {"s": 1.0, "calls": 2}, "y": {"s": 0.5, "calls": 1}}
+        b = {"x": {"s": 0.25, "calls": 1}}
+        merged = merge_snapshots([a, b])
+        assert merged == {
+            "x": {"s": 1.25, "calls": 3},
+            "y": {"s": 0.5, "calls": 1},
+        }
+
+
+class TestPipelineWiring:
+    def test_allocation_emits_phase_tree(self):
+        machine = make_machine(8)
+        module = Module("m")
+        module.add(spill_stress_function(
+            "f", n_segments=6, hot_every=3, hot_pressure=12,
+            cold_pressure=2, cold_chain=4, trips=2,
+        ))
+        prepared = prepare_module(module, machine)
+        func = clone_function(prepared.functions[0])
+        with profiled() as prof:
+            result = allocate_function(func, machine, ChaitinAllocator())
+        snap = prof.snapshot()
+        for expected in ("renumber", "analyze", "color", "rewrite"):
+            assert expected in snap, f"missing phase {expected!r}"
+        # Spill rounds happened, so their phases must show up too.
+        assert result.stats.rounds > 1
+        assert "spill-insert" in snap
+        assert "reanalyze" in snap
+        # Sub-phases nest under their parent path.
+        assert any(p.startswith("analyze/") for p in snap)
+
+    def test_cli_profile_prints_table(self, capsys):
+        out = io.StringIO()
+        code = main(["bench", "jack", "--regs", "16", "--profile"], out=out)
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "phase" in err and "seconds" in err
+        assert "color" in err
+
+
+class TestMetricsWiring:
+    def test_record_phases_folds_snapshots(self):
+        metrics = ServiceMetrics()
+        metrics.record_phases({"color": {"s": 0.5, "calls": 2}})
+        metrics.record_phases({"color": {"s": 0.25, "calls": 1},
+                               "rewrite": {"s": 0.1, "calls": 1}})
+        snap = metrics.snapshot()["alloc_phases"]
+        assert snap["color"] == {"s": 0.75, "calls": 3}
+        assert snap["rewrite"] == {"s": 0.1, "calls": 1}

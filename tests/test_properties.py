@@ -14,9 +14,10 @@ from __future__ import annotations
 
 import random
 
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import HealthCheck, assume, given, settings, strategies as st
 
 from repro.analysis.interference import build_interference
+from repro.errors import AllocationError
 from repro.analysis.renumber import renumber
 from repro.core import PreferenceConfig, PreferenceDirectedAllocator
 from repro.core.cpg import BOTTOM, TOP, build_cpg
@@ -97,8 +98,19 @@ class TestSemanticPreservation:
         prepared = prepare_function(clone_function(func), machine)
         args = random_args(func, seed)
         want = run_function(func, args, machine=machine, memory=Memory())
-        allocate_function(prepared, machine,
-                          ALLOCATOR_FACTORIES[alloc_index]())
+        try:
+            allocate_function(prepared, machine,
+                              ALLOCATOR_FACTORIES[alloc_index]())
+        except AllocationError as err:
+            # Spill-everywhere allocation has no live-range splitting:
+            # a generated program whose peak single-instruction operand
+            # pressure (no-spill reload/store temporaries) exceeds a
+            # tiny k is genuinely unallocatable by this family, not a
+            # semantics bug.  Reject the example; any other allocation
+            # failure still fails the test.
+            if "pressure cannot be met" in str(err):
+                assume(False)
+            raise
         verify_allocation(prepared, machine)
         got = run_function(prepared, args, machine=machine,
                            memory=Memory())
