@@ -41,6 +41,7 @@ from conftest import ALLOCATORS, prepared_module
 
 from repro.pipeline import allocate_module, prepare_module
 from repro.profiling import profiled
+from repro.regalloc import AllocationOptions
 from repro.target.presets import make_machine
 from repro.workloads import make_benchmark
 
@@ -76,12 +77,13 @@ def time_allocator(prepared, machine, name: str, repeats: int,
     allocator = ALLOCATORS[name]()
     # The warm-up run doubles as the phase-profiled run; the timed loop
     # below runs unprofiled so phase bookkeeping never taints `best_s`.
+    options = AllocationOptions(jobs=jobs)
     with profiled() as prof:
-        result = allocate_module(prepared, machine, allocator, jobs=jobs)
+        result = allocate_module(prepared, machine, allocator, options)
     times = []
     for _ in range(repeats):
         start = time.perf_counter()
-        result = allocate_module(prepared, machine, allocator, jobs=jobs)
+        result = allocate_module(prepared, machine, allocator, options)
         times.append(time.perf_counter() - start)
     return {
         "best_s": round(min(times), 4),

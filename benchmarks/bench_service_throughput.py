@@ -28,6 +28,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
+from repro.regalloc import AllocationOptions
 from repro.service import (
     AllocationRequest,
     MachineSpec,
@@ -101,7 +102,8 @@ def drive(host, port, schedule, clients):
 def run(benches, allocators, requests, clients, regs, jobs) -> dict:
     metrics = ServiceMetrics()
     scheduler = Scheduler(cache=ResultCache(max_entries=512),
-                          metrics=metrics, jobs=jobs,
+                          metrics=metrics,
+                          options=AllocationOptions(jobs=jobs),
                           max_queue=max(64, requests))
     server = ServerThread(scheduler)
     host, port = server.start()

@@ -1,0 +1,209 @@
+"""Resilience benchmark: the worker pool under deterministic faults.
+
+Every scenario allocates the same prepared module twice — once serially,
+once through a :class:`repro.exec.WorkerPool` with a scripted
+:class:`~repro.exec.FaultPlan` — and *asserts* the two runs are
+byte-identical (rendered code, stats, cycle totals).  The report then
+quantifies what the recovery cost: wall time vs the fault-free pooled
+run, plus the pool's crash/retry/respawn/deadline-kill counters.
+
+Scenarios:
+
+* ``clean``         — pooled run, no faults (the overhead baseline);
+* ``crash``         — one worker killed mid-batch, job retried;
+* ``crash_storm``   — a third of the jobs each kill their worker once;
+* ``deadline``      — one job sleeps past its deadline, is killed, and
+  succeeds on the retry;
+* ``service_crash`` — the ``serve --jobs N`` path: an in-process LDJSON
+  server whose scheduler pool loses a worker; the response bytes must
+  equal a fault-free server's.
+
+Run the full bench or the CI smoke variant::
+
+    PYTHONPATH=src python benchmarks/bench_worker_pool.py \
+        --out BENCH_worker_pool.json
+    PYTHONPATH=src python benchmarks/bench_worker_pool.py --smoke
+"""
+
+import argparse
+import json
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.core import PreferenceDirectedAllocator
+from repro.exec import FaultPlan, WorkerPool
+from repro.pipeline import allocate_module, prepare_module
+from repro.regalloc import AllocationOptions
+from repro.service import (
+    AllocationRequest,
+    MachineSpec,
+    ResultCache,
+    Scheduler,
+    ServerThread,
+    ServiceClient,
+)
+from repro.service.scheduler import render_allocation
+from repro.target.presets import make_machine
+from repro.workloads import make_benchmark
+
+
+def fingerprint(run) -> tuple:
+    """Everything a fault could corrupt: code bytes, stats, cycles."""
+    return (render_allocation(run).encode(),
+            tuple(sorted(vars(run.stats).items(),
+                         key=lambda kv: kv[0])),
+            run.cycles.total)
+
+
+def timed(fn):
+    start = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - start
+
+
+def run_pool_scenario(name, prepared, machine, jobs, fault_plan,
+                      deadline_ms, want, repeats) -> dict:
+    counters = None
+    identical = True
+    times = []
+    for _ in range(repeats):
+        options = AllocationOptions(jobs=jobs, deadline_ms=deadline_ms)
+        with WorkerPool(workers=jobs, fault_plan=fault_plan,
+                        start_timeout_s=60.0) as pool:
+            run, wall = timed(lambda: allocate_module(
+                prepared, machine, PreferenceDirectedAllocator(),
+                options, pool=pool))
+            counters = dict(pool.counters)
+        identical = identical and fingerprint(run) == want
+        times.append(wall)
+    return {
+        "scenario": name,
+        "jobs": jobs,
+        "deadline_ms": deadline_ms,
+        "identical_to_serial": identical,
+        "best_s": round(min(times), 4),
+        "mean_s": round(sum(times) / len(times), 4),
+        "pool": counters,
+    }
+
+
+def run_service_scenario(bench, regs, jobs) -> dict:
+    """`serve --jobs N` with a mid-batch worker kill vs a clean server."""
+
+    def collect(fault_plan):
+        scheduler = Scheduler(cache=ResultCache(),
+                              options=AllocationOptions(jobs=jobs),
+                              fault_plan=fault_plan)
+        thread = ServerThread(scheduler)
+        host, port = thread.start()
+        try:
+            client = ServiceClient(host, port, timeout=300.0)
+            request = AllocationRequest(id="resilience", bench=bench,
+                                        machine=MachineSpec(regs=regs))
+            response, wall = timed(lambda: client.allocate(request))
+            snapshot = scheduler.pool.snapshot()
+        finally:
+            thread.stop()
+        return response, wall, snapshot
+
+    clean, clean_s, _ = collect(None)
+    faulted, faulted_s, pool = collect(FaultPlan.crash_on(1))
+    return {
+        "scenario": "service_crash",
+        "jobs": jobs,
+        "identical_to_serial": (clean.ok and faulted.ok
+                                and faulted.result_digest
+                                == clean.result_digest
+                                and faulted.code == clean.code),
+        "clean_s": round(clean_s, 4),
+        "faulted_s": round(faulted_s, 4),
+        "pool": pool["counters"],
+    }
+
+
+def git_commit() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True, text=True, timeout=10, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def run(bench, regs, jobs, repeats) -> dict:
+    machine = make_machine(regs)
+    prepared = prepare_module(make_benchmark(bench), machine)
+    n_funcs = len(prepared.functions)
+
+    serial, serial_s = timed(lambda: allocate_module(
+        prepared, machine, PreferenceDirectedAllocator()))
+    want = fingerprint(serial)
+
+    storm = FaultPlan.crash_on(*range(0, n_funcs, 3))
+    scenarios = [
+        ("clean", None, None),
+        ("crash", FaultPlan.crash_on(1), None),
+        ("crash_storm", storm, None),
+        ("deadline", FaultPlan.sleep_on(0, 5.0), 500.0),
+    ]
+    report = {
+        "bench": bench,
+        "functions": n_funcs,
+        "regs": regs,
+        "jobs": jobs,
+        "repeats": repeats,
+        "python": sys.version.split()[0],
+        "git_commit": git_commit(),
+        "hostname": socket.gethostname(),
+        "serial_s": round(serial_s, 4),
+        "scenarios": [],
+    }
+    for name, plan, deadline_ms in scenarios:
+        entry = run_pool_scenario(name, prepared, machine, jobs, plan,
+                                  deadline_ms, want, repeats)
+        report["scenarios"].append(entry)
+        print(f"{name:>14}: {entry['best_s']:.3f}s "
+              f"(crashes {entry['pool']['crashes']}, "
+              f"retries {entry['pool']['retries']}, "
+              f"deadline kills {entry['pool']['deadline_kills']}) "
+              f"identical={entry['identical_to_serial']}")
+    entry = run_service_scenario(bench, regs, jobs)
+    report["scenarios"].append(entry)
+    print(f"{entry['scenario']:>14}: clean {entry['clean_s']:.3f}s, "
+          f"faulted {entry['faulted_s']:.3f}s "
+          f"identical={entry['identical_to_serial']}")
+    report["all_identical"] = all(s["identical_to_serial"]
+                                  for s in report["scenarios"])
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bench", default="db")
+    parser.add_argument("--regs", type=int, default=16)
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (2 workers, single repeat)")
+    parser.add_argument("--out", default="BENCH_worker_pool.json")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.jobs, args.repeats = 2, 1
+    report = run(args.bench, args.regs, args.jobs, args.repeats)
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    if not report["all_identical"]:
+        print("FAULT RECOVERY CHANGED RESULTS", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -63,6 +63,7 @@ from repro.pipeline import (
     prepare_module,
 )
 from repro.regalloc import (
+    AllocationOptions,
     AllocationResult,
     AllocationStats,
     Allocator,
@@ -119,6 +120,7 @@ __all__ = [
     "find_paired_loads",
     # baselines & framework
     "Allocator",
+    "AllocationOptions",
     "AllocationResult",
     "AllocationStats",
     "allocate_function",

@@ -65,8 +65,19 @@ __all__ = [
     "PatchedAnalyses",
     "apply_spill_delta",
     "incremental_mode",
+    "parse_incremental",
     "compare_analyses",
 ]
+
+
+def parse_incremental(raw: str) -> str:
+    """Normalize an incremental-rounds setting to on/off/validate."""
+    raw = str(raw).strip().lower()
+    if raw in {"0", "off", "false", "no"}:
+        return "off"
+    if raw == "validate":
+        return "validate"
+    return "on"
 
 
 def incremental_mode() -> str:
@@ -74,13 +85,12 @@ def incremental_mode() -> str:
 
     Controlled by the ``REPRO_INCREMENTAL_ROUNDS`` environment variable;
     any of ``0``/``off``/``false``/``no`` disables the incremental path.
+    This is only the *environment default* — an explicit
+    ``AllocationOptions.incremental`` always wins (the options loader
+    :meth:`repro.regalloc.base.AllocationOptions.from_env` reads the
+    same variable).
     """
-    raw = os.environ.get("REPRO_INCREMENTAL_ROUNDS", "1").strip().lower()
-    if raw in {"0", "off", "false", "no"}:
-        return "off"
-    if raw == "validate":
-        return "validate"
-    return "on"
+    return parse_incremental(os.environ.get("REPRO_INCREMENTAL_ROUNDS", "1"))
 
 
 @dataclass(eq=False)

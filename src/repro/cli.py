@@ -29,7 +29,6 @@ from __future__ import annotations
 import argparse
 import sys
 import uuid
-from pathlib import Path
 
 from repro.core import PreferenceDirectedAllocator
 from repro.errors import ReproError, ServiceError
@@ -37,17 +36,21 @@ from repro.ir.parser import parse_module
 from repro.ir.printer import print_function
 from repro.pipeline import allocate_module, prepare_module
 from repro.profiling import profiled
-from repro.regalloc import allocate_function
+from repro.regalloc import AllocationOptions, allocate_function
 from repro.reporting import canonical_json
 from repro.service.cache import ResultCache, default_cache_dir
 from repro.service.client import ServiceClient
 from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import (
-    PROTOCOL_VERSION,
     AllocationRequest,
     MachineSpec,
     cycles_to_dict,
     stats_to_dict,
+)
+from repro.service.schema import (
+    allocation_payload,
+    comparison_payload,
+    final_stats_payload,
 )
 from repro.service.scheduler import (
     ALLOCATOR_FACTORIES,
@@ -224,7 +227,7 @@ def _cmd_alloc(args, out) -> int:
             machine=MachineSpec(regs=args.regs),
         )
         response = execute_request(request)
-        print(response.to_json(), file=out)
+        print(canonical_json(allocation_payload(response)), file=out)
         return 0
     machine = make_machine(args.regs)
     module = _read_module(args.file)
@@ -299,26 +302,23 @@ def _comparison_json(prepared, machine, bench: str | None = None) -> str:
             stats=stats_to_dict(run.stats),
             cycles=cycles_to_dict(run.cycles),
         ).seal()
-        results[name] = response.to_wire()
-    payload = {
-        "type": "comparison",
-        "protocol": PROTOCOL_VERSION,
-        "machine": machine_descriptor(machine),
-        "results": results,
-    }
-    if bench is not None:
-        payload["bench"] = bench
-    return canonical_json(payload)
+        results[name] = allocation_payload(response)
+    return canonical_json(
+        comparison_payload(machine_descriptor(machine), results, bench)
+    )
 
 
 def _cmd_serve(args, out) -> None:
+    overrides = {"jobs": args.jobs}
+    if args.cache_dir:  # --cache-dir beats $REPRO_CACHE_DIR
+        overrides["cache_dir"] = args.cache_dir
+    options = AllocationOptions.from_env(**overrides)
     disk_dir = None
     if not args.no_disk_cache:
-        disk_dir = (Path(args.cache_dir) if args.cache_dir
-                    else default_cache_dir())
+        disk_dir = default_cache_dir(options)
     cache = ResultCache(max_entries=args.cache_size, disk_dir=disk_dir)
     metrics = ServiceMetrics()
-    scheduler = Scheduler(cache=cache, metrics=metrics, jobs=args.jobs,
+    scheduler = Scheduler(cache=cache, metrics=metrics, options=options,
                           max_queue=args.max_queue)
     if args.stdio:
         scheduler.start()
@@ -326,9 +326,8 @@ def _cmd_serve(args, out) -> None:
             serve_stdio(scheduler, sys.stdin, out)
         finally:
             scheduler.stop()
-            print(canonical_json({"type": "final_stats",
-                                  "metrics": metrics.snapshot(),
-                                  "cache": cache.snapshot()}),
+            print(canonical_json(final_stats_payload(metrics.snapshot(),
+                                                     cache.snapshot())),
                   file=sys.stderr)
         return
     server = ServerThread(scheduler, args.host, args.port)
@@ -340,9 +339,8 @@ def _cmd_serve(args, out) -> None:
         pass
     finally:
         server.stop()
-        print(canonical_json({"type": "final_stats",
-                              "metrics": metrics.snapshot(),
-                              "cache": cache.snapshot()}),
+        print(canonical_json(final_stats_payload(metrics.snapshot(),
+                                                 cache.snapshot())),
               file=out, flush=True)
 
 
@@ -358,7 +356,7 @@ def _cmd_submit(args, out) -> int:
     client = ServiceClient(args.host, args.port)
     response = client.allocate(request)
     if args.json:
-        print(response.to_json(), file=out)
+        print(canonical_json(allocation_payload(response)), file=out)
         return 0 if response.ok else 1
     if not response.ok:
         raise ServiceError(response.error)

@@ -1,0 +1,99 @@
+"""The allocation job executed inside worker-pool processes.
+
+One payload is ``(prepared_func, machine, allocator, options)`` —
+exactly what :func:`repro.pipeline._allocate_one` consumes serially —
+and the return value is ``(AllocationResult, CycleReport)``.
+
+The worker keeps a **warm round-0 analysis cache** keyed by *content*
+(printed function text + machine register model + collection mode), not
+by object identity: every batch pickles fresh ``Function`` objects into
+the worker, but renumbering is deterministic, so the round-0 analyses
+of any copy of a prepared function are value-identical (the same
+argument that backs :func:`repro.pipeline.round0_analyses`).  A service
+sweeping eight allocators over one module therefore analyzes each
+function once per worker, not once per job — and the results remain
+byte-identical to a cold serial run.
+
+Options travel *in the payload*, never through worker environment
+variables: a persistent worker forked long ago must honor the caller's
+current ``incremental`` mode, not whatever ``os.environ`` said at spawn
+time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+
+__all__ = ["run_alloc_job", "round0_cache_info", "clear_round0_cache"]
+
+#: content key -> RoundAnalyses (per worker process, bounded LRU)
+_ROUND0_CACHE: "OrderedDict[str, object]" = OrderedDict()
+_ROUND0_CACHE_MAX = 64
+_hits = 0
+_misses = 0
+
+
+def _content_key(func, machine, collect: bool) -> str:
+    from repro.ir.printer import print_function
+    from repro.reporting import canonical_json
+    from repro.service.protocol import machine_descriptor
+
+    payload = (
+        print_function(func)
+        + canonical_json(machine_descriptor(machine))
+        + ("+deltas" if collect else "")
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _warm_round0(func, machine, collect: bool):
+    global _hits, _misses
+    from repro.analysis.renumber import renumber
+    from repro.ir.clone import clone_function
+    from repro.regalloc.base import compute_round_analyses
+
+    key = _content_key(func, machine, collect)
+    cached = _ROUND0_CACHE.get(key)
+    if cached is not None:
+        _ROUND0_CACHE.move_to_end(key)
+        _hits += 1
+        return cached
+    _misses += 1
+    ref = clone_function(func)
+    renumber(ref)
+    analyses = compute_round_analyses(ref, collect_deltas=collect)
+    _ROUND0_CACHE[key] = analyses
+    while len(_ROUND0_CACHE) > _ROUND0_CACHE_MAX:
+        _ROUND0_CACHE.popitem(last=False)
+    return analyses
+
+
+def run_alloc_job(payload):
+    """Allocate one prepared function; the pool's default task."""
+    from repro.regalloc.base import allocate_function
+    from repro.regalloc.verify import verify_allocation
+    from repro.sim.cycles import estimate_cycles
+
+    func, machine, allocator, options = payload
+    round0 = None
+    if options.reuse_analyses:
+        round0 = _warm_round0(func, machine,
+                              collect=options.incremental != "off")
+    result = allocate_function(func, machine, allocator,
+                               options=options, round0=round0)
+    if options.verify:
+        verify_allocation(func, machine)
+    return result, estimate_cycles(func, machine)
+
+
+def round0_cache_info() -> dict:
+    """Hit/miss counters of *this process's* warm cache (tests)."""
+    return {"entries": len(_ROUND0_CACHE), "hits": _hits,
+            "misses": _misses}
+
+
+def clear_round0_cache() -> None:
+    global _hits, _misses
+    _ROUND0_CACHE.clear()
+    _hits = _misses = 0

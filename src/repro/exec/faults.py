@@ -1,0 +1,104 @@
+"""Deterministic fault injection for the worker pool.
+
+A :class:`FaultPlan` maps *job sequence numbers* (assigned by the pool
+in submission order, starting at 0, monotonically across batches) to a
+:class:`FaultSpec` that fires on specific *attempt* indices of that job.
+Plans are plain frozen data, picklable, and applied only inside
+``repro.exec.pool._worker_main`` — the pool's serial fallback paths in
+the parent process never consult them, so an injected crash can never
+take the caller down.
+
+Three fault kinds:
+
+* ``crash``  — the worker process exits immediately (``os._exit``),
+  exactly like a segfault in native allocator code;
+* ``sleep``  — the worker sleeps ``sleep_s`` before running the job,
+  which trips the pool's deadline enforcement;
+* ``error``  — the job raises ``RuntimeError(message)`` instead of
+  running (a poisoned function: deterministic failure that must
+  propagate to the caller, not kill the worker).
+
+Because the default ``attempts=(0,)`` fires only on the first attempt,
+the retried job succeeds and tests can assert full recovery with
+byte-identical results; ``FaultSpec(..., attempts=tuple(range(n)))``
+makes a fault persistent to exercise the retries-exhausted paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+__all__ = ["FaultSpec", "FaultPlan"]
+
+_KINDS = ("crash", "sleep", "error")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault: what happens, and on which attempts of the job."""
+
+    kind: str
+    sleep_s: float = 0.0
+    #: attempt indices (0 = first execution) on which the fault fires
+    attempts: tuple[int, ...] = (0,)
+    message: str = "injected fault"
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"fault kind must be one of {_KINDS}, "
+                             f"got {self.kind!r}")
+        if self.kind == "sleep" and self.sleep_s <= 0:
+            raise ValueError("sleep faults need sleep_s > 0")
+
+    def fires_on(self, attempt: int) -> bool:
+        return attempt in self.attempts
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Job sequence number -> fault, for one pool's lifetime."""
+
+    by_job: Mapping[int, FaultSpec] = field(default_factory=dict)
+
+    def lookup(self, job_seq: int, attempt: int) -> FaultSpec | None:
+        """The fault to apply to this (job, attempt), if any."""
+        spec = self.by_job.get(job_seq)
+        if spec is not None and spec.fires_on(attempt):
+            return spec
+        return None
+
+    def __bool__(self) -> bool:
+        return bool(self.by_job)
+
+    # -- convenience builders (tests, benchmarks, CI) ------------------
+
+    @classmethod
+    def crash_on(cls, *job_seqs: int,
+                 attempts: tuple[int, ...] = (0,)) -> "FaultPlan":
+        """Kill the worker running each listed job (first attempt only
+        by default, so the retry recovers)."""
+        return cls({seq: FaultSpec("crash", attempts=attempts)
+                    for seq in job_seqs})
+
+    @classmethod
+    def sleep_on(cls, job_seq: int, sleep_s: float,
+                 attempts: tuple[int, ...] = (0,)) -> "FaultPlan":
+        """Delay the listed job past its deadline."""
+        return cls({job_seq: FaultSpec("sleep", sleep_s=sleep_s,
+                                       attempts=attempts)})
+
+    @classmethod
+    def poison(cls, *job_seqs: int,
+               attempts: tuple[int, ...] = tuple(range(16))) -> "FaultPlan":
+        """Make the listed jobs raise on every attempt (poisoned
+        function: the error must surface, the worker must survive)."""
+        return cls({seq: FaultSpec("error", attempts=attempts)
+                    for seq in job_seqs})
+
+    @classmethod
+    def merged(cls, *plans: "FaultPlan") -> "FaultPlan":
+        table: dict[int, FaultSpec] = {}
+        for plan in plans:
+            table.update(plan.by_job)
+        return cls(table)

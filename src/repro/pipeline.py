@@ -13,30 +13,33 @@ Two throughput levers, both result-neutral:
 * round-0 analyses (CFG, loops, liveness, interference, spill costs) are
   memoized per *prepared* function, so sweeping many allocators — or
   timing one repeatedly — re-analyzes nothing on the first round;
-* ``allocate_module(..., jobs=N)`` fans functions out over a process
-  pool.  Results are merged in submission order and every tie-break in
-  the allocators is deterministic, so ``jobs=N`` output is byte-identical
-  to ``jobs=1``.
+* ``allocate_module(..., options=AllocationOptions(jobs=N))`` fans
+  functions out over the persistent :mod:`repro.exec` worker pool.
+  Results are merged in submission order and every tie-break in the
+  allocators is deterministic, so ``jobs=N`` output is byte-identical to
+  ``jobs=1`` — even when a worker crashes mid-batch and its jobs are
+  retried elsewhere (or, past the retry budget, re-run serially here).
 """
 
 from __future__ import annotations
 
 import warnings
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from weakref import WeakKeyDictionary
 
 from repro.analysis.incremental import incremental_mode
 from repro.analysis.renumber import renumber
+from repro.exec import WorkerPoolUnavailable, get_default_pool
 from repro.ir.clone import clone_function, clone_module
 from repro.ir.function import Function, Module
 from repro.ir.validate import validate_function
 from repro.regalloc.base import (
+    AllocationOptions,
     AllocationResult,
     AllocationStats,
     Allocator,
     RoundAnalyses,
+    _resolve_options,
     allocate_function,
     compute_round_analyses,
 )
@@ -92,19 +95,26 @@ _round0_cache: "WeakKeyDictionary[Function, RoundAnalyses]" = (
 )
 
 
-def round0_analyses(prepared_func: Function) -> RoundAnalyses:
+def round0_analyses(prepared_func: Function,
+                    incremental: str | None = None) -> RoundAnalyses:
     """Memoized first-round analyses of one prepared function.
 
     Computed on a renumbered *reference clone* so the cached structures
     are never touched by an allocator's in-place rewrite; every clone of
     ``prepared_func`` renumbers to the same names (renumbering is
     deterministic), so the analyses transfer to any round 0.
+
+    ``incremental`` is the caller's
+    :attr:`~repro.regalloc.base.AllocationOptions.incremental` mode
+    (``None`` falls back to the environment default).
     """
     # Collect the per-block summaries whenever incremental spill rounds
     # are enabled, so a cached round 0 can be patched by round 1.  A
     # cache entry built in the other mode is rebuilt rather than reused
     # (apply_delta would just fall back every round otherwise).
-    collect = incremental_mode() != "off"
+    if incremental is None:
+        incremental = incremental_mode()
+    collect = incremental != "off"
     cached = _round0_cache.get(prepared_func)
     if cached is None or (collect and cached.block_rows is None):
         ref = clone_function(prepared_func)
@@ -118,60 +128,109 @@ def _allocate_one(
     prepared_func: Function,
     machine: TargetMachine,
     allocator: Allocator,
-    verify: bool,
-    reuse_analyses: bool,
+    options: AllocationOptions,
 ) -> tuple[AllocationResult, CycleReport]:
-    """Allocate one function from its prepared form (worker-safe)."""
+    """Allocate one function from its prepared form, serially."""
     func = clone_function(prepared_func)
-    round0 = round0_analyses(prepared_func) if reuse_analyses else None
-    result = allocate_function(func, machine, allocator, round0=round0)
-    if verify:
+    round0 = None
+    if options.reuse_analyses:
+        round0 = round0_analyses(prepared_func, options.incremental)
+    result = allocate_function(func, machine, allocator, options=options)
+    if options.verify:
         verify_allocation(func, machine)
     return result, estimate_cycles(func, machine)
+
+
+def _pool_results(prepared, machine, allocator, options, pool):
+    """Run the module's functions through the worker pool.
+
+    Returns submission-ordered ``(AllocationResult, CycleReport)`` pairs.
+    Per-job outcomes: worker *errors* re-raise here (same behavior as a
+    serial run); jobs whose workers kept *crashing* past the retry
+    budget are re-run serially in this process (byte-identical, just
+    slower); *deadline* kills past the retry budget raise
+    :class:`~repro.exec.JobDeadlineError` for the service layer to
+    degrade on.
+    """
+    deadline_s = (None if options.deadline_ms is None
+                  else options.deadline_ms / 1000.0)
+    payloads = [(func, machine, allocator, options)
+                for func in prepared.functions]
+    batch = pool.run_batch(payloads, deadline_s=deadline_s)
+    merged = []
+    for func, job in zip(prepared.functions, batch):
+        if job.ok:
+            merged.append(job.value)
+        elif job.kind == "deadline":
+            raise job.error
+        elif job.kind == "crash":
+            warnings.warn(
+                f"worker pool gave up on {func.name!r} after "
+                f"{job.attempts} attempts ({job.error}); "
+                f"falling back to serial allocation for it",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            merged.append(_allocate_one(func, machine, allocator, options))
+        else:
+            raise job.error
+    return merged
 
 
 def allocate_module(
     prepared: Module,
     machine: TargetMachine,
     allocator: Allocator,
-    verify: bool = True,
-    jobs: int = 1,
-    reuse_analyses: bool = True,
+    options: AllocationOptions | None = None,
+    *,
+    pool=None,
+    verify: bool | None = None,
+    jobs: int | None = None,
+    reuse_analyses: bool | None = None,
 ) -> ModuleAllocation:
     """Clone ``prepared``, allocate every function, sum stats and cycles.
 
-    ``jobs > 1`` allocates functions on a process pool; stats and cycle
-    totals are merged in the module's function order regardless of
-    completion order, so the result is identical to a sequential run.
+    All knobs ride on ``options`` (:class:`AllocationOptions`); the bare
+    ``verify``/``jobs``/``reuse_analyses`` keywords are deprecated shims.
+    ``options.jobs > 1`` allocates functions on the persistent
+    :mod:`repro.exec` worker pool; stats and cycle totals are merged in
+    the module's function order regardless of completion order, so the
+    result is identical to a sequential run.  ``pool`` injects a
+    specific :class:`~repro.exec.WorkerPool` (fault-injection tests and
+    the resilience benchmark); by default the shared module-level pool
+    is used and stays warm across calls.
     """
+    options = _resolve_options(
+        options, verify=verify, jobs=jobs, reuse_analyses=reuse_analyses
+    )
     out = ModuleAllocation(allocator=allocator.name, machine=machine)
     out.stats.allocator = allocator.name
     merged = None
-    if jobs > 1 and len(prepared.functions) > 1:
+    if options.jobs > 1 and len(prepared.functions) > 1:
         try:
-            with ProcessPoolExecutor(max_workers=jobs) as pool:
-                futures = [
-                    pool.submit(_allocate_one, func, machine, allocator,
-                                verify, reuse_analyses)
-                    for func in prepared.functions
-                ]
-                merged = [f.result() for f in futures]
-        except (BrokenProcessPool, OSError, PermissionError,
+            if pool is None:
+                pool = get_default_pool(workers=options.jobs)
+            pool.ensure_started()
+        except (WorkerPoolUnavailable, OSError, PermissionError,
                 RuntimeError) as err:
             # Sandboxed / no-fork environments can refuse to start the
-            # pool (or kill its workers before the first result); the
-            # answer is the same either way, just slower.  Allocator
-            # errors are ReproErrors and still propagate.
+            # pool; the answer is the same either way, just slower.
+            # Only *startup* falls back — once the batch is running,
+            # task errors propagate and crashed workers are handled
+            # per-job inside _pool_results.
             warnings.warn(
                 f"process pool unavailable ({err!r}); "
                 f"falling back to serial allocation",
                 RuntimeWarning,
                 stacklevel=2,
             )
-            merged = None
+            pool = None
+        if pool is not None:
+            merged = _pool_results(prepared, machine, allocator, options,
+                                   pool)
     if merged is None:
         merged = [
-            _allocate_one(func, machine, allocator, verify, reuse_analyses)
+            _allocate_one(func, machine, allocator, options)
             for func in prepared.functions
         ]
     for result, cycles in merged:

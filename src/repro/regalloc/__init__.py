@@ -17,6 +17,7 @@ The paper's own algorithm lives in :mod:`repro.core`.
 """
 
 from repro.regalloc.base import (
+    AllocationOptions,
     AllocationResult,
     AllocationStats,
     Allocator,
@@ -49,6 +50,7 @@ from repro.regalloc.verify import (
 
 __all__ = [
     "Allocator",
+    "AllocationOptions",
     "AllocationResult",
     "AllocationStats",
     "RoundContext",

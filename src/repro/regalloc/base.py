@@ -12,12 +12,14 @@ Figures 1–3 and 8 — then rewrites the function onto physical registers.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+import os
+import warnings
+from dataclasses import dataclass, field, replace
 
 from repro.analysis.incremental import (
     apply_spill_delta,
     compare_analyses,
-    incremental_mode,
+    parse_incremental,
 )
 from repro.analysis.interference import InterferenceGraph, build_interference
 from repro.analysis.liveness import Liveness, compute_liveness
@@ -38,6 +40,7 @@ from repro.regalloc.spill import SpillDelta, insert_spill_code
 from repro.target.machine import TargetMachine
 
 __all__ = [
+    "AllocationOptions",
     "RoundContext",
     "RoundOutcome",
     "RoundAnalyses",
@@ -47,6 +50,123 @@ __all__ = [
     "allocate_function",
     "compute_round_analyses",
 ]
+
+_INCREMENTAL_MODES = ("on", "off", "validate")
+
+
+@dataclass(frozen=True)
+class AllocationOptions:
+    """Every knob that shapes one allocation, in one immutable value.
+
+    This is the single options surface of the public API: the driver
+    (:func:`allocate_function`), the module fan-out
+    (:func:`repro.pipeline.allocate_module`), the service scheduler, and
+    the wire protocol all accept ``options=`` instead of the historical
+    mix of keywords and environment variables.  The legacy keywords
+    still work but emit :class:`DeprecationWarning`.
+
+    Fields that change *results* (``max_rounds``, ``rematerialize``,
+    ``verify``) are part of the service cache fingerprint; the rest
+    (``jobs``, ``reuse_analyses``, ``incremental``, ``deadline_ms``)
+    are result-neutral execution policy — any combination of them
+    yields byte-identical allocations.
+
+    ``deadline_ms`` is the per-function hard deadline enforced by the
+    :mod:`repro.exec` worker pool: a worker running past it is killed
+    and the job retried; exhausted retries surface as
+    :class:`repro.exec.JobDeadlineError` so the service can degrade
+    along its allocator ladder instead of stalling the queue.
+    """
+
+    max_rounds: int = 64
+    rematerialize: bool = False
+    verify: bool = True
+    jobs: int = 1
+    reuse_analyses: bool = True
+    #: spill-round re-analysis: "on" patches through the spill delta,
+    #: "off" rebuilds from scratch, "validate" runs both and raises on
+    #: divergence.
+    incremental: str = "on"
+    deadline_ms: float | None = None
+    #: service disk-cache directory (None = ~/.cache/repro); carried
+    #: here so ``$REPRO_CACHE_DIR`` has exactly one reader, but not
+    #: serialized onto the wire (it is server-local policy).
+    cache_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_rounds < 1:
+            raise ValueError("max_rounds must be >= 1")
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if self.incremental not in _INCREMENTAL_MODES:
+            raise ValueError(
+                f"incremental must be one of {_INCREMENTAL_MODES}, "
+                f"got {self.incremental!r}"
+            )
+        if self.deadline_ms is not None:
+            if not isinstance(self.deadline_ms, (int, float)) or isinstance(
+                self.deadline_ms, bool
+            ):
+                raise ValueError("deadline_ms must be a number or None")
+            if self.deadline_ms < 0:
+                raise ValueError("deadline_ms must be >= 0")
+
+    @classmethod
+    def from_env(cls, environ=None, **overrides) -> "AllocationOptions":
+        """Defaults with the two documented environment variables folded
+        in: ``REPRO_INCREMENTAL_ROUNDS`` -> ``incremental`` and
+        ``REPRO_CACHE_DIR`` -> ``cache_dir``.  Explicit ``overrides``
+        win over both.  This is the *only* place the library reads
+        those variables.
+        """
+        env = os.environ if environ is None else environ
+        values = {
+            "incremental": parse_incremental(
+                env.get("REPRO_INCREMENTAL_ROUNDS", "1")
+            ),
+            "cache_dir": env.get("REPRO_CACHE_DIR") or None,
+        }
+        values.update(overrides)
+        return cls(**values)
+
+    def replace(self, **changes) -> "AllocationOptions":
+        return replace(self, **changes)
+
+    #: fields serialized onto the service wire (cache_dir is local).
+    WIRE_FIELDS = ("max_rounds", "rematerialize", "verify", "jobs",
+                   "reuse_analyses", "incremental", "deadline_ms")
+
+    def to_dict(self) -> dict:
+        """JSON-safe wire form (``deadline_ms: None`` is omitted)."""
+        wire = {name: getattr(self, name) for name in self.WIRE_FIELDS}
+        if wire["deadline_ms"] is None:
+            del wire["deadline_ms"]
+        return wire
+
+    @classmethod
+    def from_dict(cls, wire: dict) -> "AllocationOptions":
+        if not isinstance(wire, dict):
+            raise ValueError(f"options must be an object, got {wire!r}")
+        unknown = set(wire) - set(cls.WIRE_FIELDS)
+        if unknown:
+            raise ValueError(f"unknown option field(s) {sorted(unknown)}")
+        return cls(**wire)
+
+
+def _resolve_options(options: AllocationOptions | None,
+                     **legacy) -> AllocationOptions:
+    """Merge deprecated keyword arguments into an options value."""
+    supplied = {k: v for k, v in legacy.items() if v is not None}
+    if supplied:
+        warnings.warn(
+            f"the keyword(s) {sorted(supplied)} are deprecated; pass "
+            f"options=AllocationOptions(...) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    if options is None:
+        options = AllocationOptions.from_env()
+    return options.replace(**supplied) if supplied else options
 
 
 @dataclass(eq=False)
@@ -295,23 +415,36 @@ def allocate_function(
     func: Function,
     machine: TargetMachine,
     allocator: Allocator,
-    max_rounds: int = 64,
-    rematerialize: bool = False,
+    options: AllocationOptions | None = None,
+    *,
     round0: RoundAnalyses | None = None,
+    max_rounds: int | None = None,
+    rematerialize: bool | None = None,
 ) -> AllocationResult:
     """Run ``allocator`` on ``func`` to completion (in place).
 
-    ``rematerialize=True`` re-emits single-constant spilled live ranges
-    instead of storing/reloading them (Briggs-style rematerialization).
+    ``options`` carries every knob (see :class:`AllocationOptions`);
+    when omitted it is built by :meth:`AllocationOptions.from_env`.  The
+    bare ``max_rounds``/``rematerialize`` keywords are deprecated shims
+    that fold into ``options`` with a :class:`DeprecationWarning`.
+
+    ``options.rematerialize`` re-emits single-constant spilled live
+    ranges instead of storing/reloading them (Briggs-style
+    rematerialization).
 
     ``round0`` supplies precomputed first-round analyses (from
     :func:`compute_round_analyses` on a renumbered clone of the same
     prepared function).  Spill rounds patch the previous round's
     analyses through the spill delta when possible
     (:meth:`RoundAnalyses.apply_delta`), falling back to a from-scratch
-    re-analysis; ``REPRO_INCREMENTAL_ROUNDS=0`` forces the fallback and
-    ``=validate`` runs both paths, raising on any divergence.
+    re-analysis; ``options.incremental="off"`` forces the fallback and
+    ``"validate"`` runs both paths, raising on any divergence.
     """
+    options = _resolve_options(
+        options, max_rounds=max_rounds, rematerialize=rematerialize
+    )
+    max_rounds = options.max_rounds
+    rematerialize = options.rematerialize
     stats = AllocationStats(allocator=allocator.name)
     # The move-count loop nest is the same one round 0 will use; reuse
     # the cached copy instead of re-deriving CFG + loops when available.
@@ -323,7 +456,7 @@ def allocate_function(
         func, loops_for_count, stats
     )
 
-    inc_mode = incremental_mode()
+    inc_mode = options.incremental
     collect = inc_mode != "off"
     outcome: RoundOutcome | None = None
     ctx: RoundContext | None = None

@@ -14,15 +14,19 @@ from repro.service.client import ServiceClient
 from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import (
     PROTOCOL_VERSION,
+    SUPPORTED_PROTOCOLS,
     AllocationRequest,
     AllocationResponse,
     MachineSpec,
 )
+from repro.service.schema import SCHEMA_VERSION
 from repro.service.scheduler import Scheduler, execute_request
 from repro.service.server import AllocationServer, ServerThread, serve_stdio
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "SUPPORTED_PROTOCOLS",
+    "SCHEMA_VERSION",
     "AllocationRequest",
     "AllocationResponse",
     "MachineSpec",

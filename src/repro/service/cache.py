@@ -24,6 +24,7 @@ from collections import OrderedDict
 from dataclasses import replace
 from pathlib import Path
 
+from repro.regalloc.base import AllocationOptions
 from repro.reporting import canonical_json
 from repro.service.protocol import (
     PROTOCOL_VERSION,
@@ -36,22 +37,44 @@ __all__ = ["ResultCache", "request_fingerprint", "default_cache_dir"]
 
 
 def request_fingerprint(normalized_ir: str, machine: TargetMachine,
-                        allocator: str, verify: bool = True) -> str:
-    """The content address of one allocation request."""
+                        allocator: str, verify: bool = True,
+                        options: "AllocationOptions | None" = None) -> str:
+    """The content address of one allocation request.
+
+    Only *result-relevant* options enter the key: ``max_rounds`` and
+    ``rematerialize`` change the allocation, so they are hashed;
+    execution policy (``jobs``, ``incremental``, deadlines) is
+    result-neutral by construction and deliberately excluded — a cached
+    entry must be valid whatever machinery computed it.
+    """
+    if options is not None:
+        verify = options.verify
+        max_rounds = options.max_rounds
+        rematerialize = options.rematerialize
+    else:
+        defaults = AllocationOptions()
+        max_rounds = defaults.max_rounds
+        rematerialize = defaults.rematerialize
     payload = canonical_json({
         "protocol": PROTOCOL_VERSION,
         "ir": normalized_ir,
         "machine": machine_descriptor(machine),
         "allocator": allocator,
         "verify": verify,
+        "max_rounds": max_rounds,
+        "rematerialize": rematerialize,
     })
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
-def default_cache_dir() -> Path:
-    env = os.environ.get("REPRO_CACHE_DIR")
-    if env:
-        return Path(env).expanduser()
+def default_cache_dir(options: AllocationOptions | None = None) -> Path:
+    """Disk-cache directory: ``options.cache_dir``, else the
+    ``$REPRO_CACHE_DIR`` default that :meth:`AllocationOptions.from_env`
+    folds in, else ``~/.cache/repro``."""
+    if options is None:
+        options = AllocationOptions.from_env()
+    if options.cache_dir:
+        return Path(options.cache_dir).expanduser()
     return Path("~/.cache/repro").expanduser()
 
 

@@ -75,12 +75,17 @@ class ServiceMetrics:
             "deadline_misses": 0,
             "rejected_total": 0,
             "batches_total": 0,
+            "worker_deadline_kills": 0,
         }
         self.queue_depth = 0
         self.queue_depth_max = 0
         #: accumulated allocator phase profile (path -> {s, calls}) from
         #: :func:`repro.profiling` snapshots of executed requests
         self.alloc_phases: dict[str, dict] = {}
+        #: latest :meth:`repro.exec.WorkerPool.snapshot` (counters plus
+        #: per-worker pid/liveness/job tallies); empty when serving
+        #: in-process (jobs=1)
+        self.worker_pool: dict = {}
 
     def observe(self, phase: str, seconds: float) -> None:
         with self._lock:
@@ -105,6 +110,11 @@ class ServiceMetrics:
             self.queue_depth = depth
             self.queue_depth_max = max(self.queue_depth_max, depth)
 
+    def set_worker_pool(self, snapshot: dict) -> None:
+        """Publish the scheduler pool's latest state snapshot."""
+        with self._lock:
+            self.worker_pool = snapshot
+
     @property
     def cache_hit_ratio(self) -> float:
         hits = self.counters["cache_hits"]
@@ -127,4 +137,5 @@ class ServiceMetrics:
                            "calls": entry["calls"]}
                     for path, entry in self.alloc_phases.items()
                 },
+                "worker_pool": dict(self.worker_pool),
             }

@@ -20,7 +20,7 @@ import hashlib
 from dataclasses import dataclass, field, replace
 
 from repro.errors import ServiceError
-from repro.regalloc.base import AllocationStats
+from repro.regalloc.base import AllocationOptions, AllocationStats
 from repro.reporting import canonical_json
 from repro.sim.cycles import CycleReport
 from repro.target.machine import TargetMachine
@@ -29,6 +29,7 @@ from repro.workloads import BENCHMARK_NAMES
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "SUPPORTED_PROTOCOLS",
     "SERVICE_ALLOCATORS",
     "MachineSpec",
     "AllocationRequest",
@@ -38,9 +39,16 @@ __all__ = [
     "cycles_to_dict",
 ]
 
-#: Bumped whenever a wire field changes meaning; requests carrying a
-#: different version are rejected instead of silently misread.
-PROTOCOL_VERSION = 1
+#: Bumped whenever a wire field changes meaning; requests carrying an
+#: *unsupported* version are rejected instead of silently misread.
+#: v1: bare ``verify``/``deadline_s`` knobs.
+#: v2: requests carry a serialized :class:`AllocationOptions` under
+#: ``options`` (v1 requests are still accepted and get defaulted
+#: options; v1 ``verify``/``deadline_s`` keep working as views).
+PROTOCOL_VERSION = 2
+
+#: Versions the server still parses.
+SUPPORTED_PROTOCOLS = (1, 2)
 
 #: Allocator names a request may ask for (the CLI's choices).
 SERVICE_ALLOCATORS = (
@@ -100,7 +108,14 @@ def machine_descriptor(machine: TargetMachine) -> dict:
 
 @dataclass
 class AllocationRequest:
-    """One allocation job: IR text *or* a benchmark name, plus knobs."""
+    """One allocation job: IR text *or* a benchmark name, plus knobs.
+
+    Since protocol v2 the knobs ride in ``options``
+    (:class:`~repro.regalloc.base.AllocationOptions`); ``verify`` and
+    ``deadline_s`` are kept as synchronized views so v1 clients and old
+    call sites keep working unchanged.  Construct with either — when
+    ``options`` is given it wins and the views are refreshed from it.
+    """
 
     id: str = ""
     ir: str | None = None
@@ -111,13 +126,31 @@ class AllocationRequest:
     #: allocator (it never errors) once the deadline has passed.
     deadline_s: float | None = None
     verify: bool = True
+    options: AllocationOptions | None = None
     protocol: int = PROTOCOL_VERSION
 
+    def __post_init__(self) -> None:
+        if self.options is None:
+            overrides = {"verify": bool(self.verify)}
+            # Non-numeric deadlines stay on the view for validate() to
+            # reject with a ServiceError instead of blowing up here.
+            if isinstance(self.deadline_s, (int, float)) and not isinstance(
+                self.deadline_s, bool
+            ):
+                overrides["deadline_ms"] = float(self.deadline_s) * 1000.0
+            self.options = AllocationOptions.from_env(**overrides)
+        else:
+            self.verify = self.options.verify
+            self.deadline_s = (
+                None if self.options.deadline_ms is None
+                else self.options.deadline_ms / 1000.0
+            )
+
     def validate(self) -> None:
-        if self.protocol != PROTOCOL_VERSION:
+        if self.protocol not in SUPPORTED_PROTOCOLS:
             raise ServiceError(
                 f"protocol version {self.protocol} unsupported "
-                f"(server speaks {PROTOCOL_VERSION})"
+                f"(server speaks {SUPPORTED_PROTOCOLS})"
             )
         if (self.ir is None) == (self.bench is None):
             raise ServiceError(
@@ -154,12 +187,22 @@ class AllocationRequest:
             wire["bench"] = self.bench
         if self.deadline_s is not None:
             wire["deadline_s"] = self.deadline_s
+        # v1 peers would choke on the extra object; the legacy fields
+        # above already carry everything a v1 conversation can express.
+        if self.protocol >= 2 and self.options is not None:
+            wire["options"] = self.options.to_dict()
         return wire
 
     @classmethod
     def from_wire(cls, wire: dict) -> "AllocationRequest":
         if not isinstance(wire, dict):
             raise ServiceError(f"request must be a JSON object, got {wire!r}")
+        options = None
+        if wire.get("options") is not None:
+            try:
+                options = AllocationOptions.from_dict(wire["options"])
+            except (TypeError, ValueError) as err:
+                raise ServiceError(f"bad options: {err}") from err
         req = cls(
             id=str(wire.get("id", "")),
             ir=wire.get("ir"),
@@ -168,6 +211,7 @@ class AllocationRequest:
             machine=MachineSpec.from_wire(wire.get("machine", {})),
             deadline_s=wire.get("deadline_s"),
             verify=bool(wire.get("verify", True)),
+            options=options,
             protocol=wire.get("protocol", PROTOCOL_VERSION),
         )
         req.validate()

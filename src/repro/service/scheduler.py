@@ -27,18 +27,21 @@ from __future__ import annotations
 
 import queue
 import threading
+import warnings
 from concurrent.futures import Future
 from dataclasses import dataclass
 from time import perf_counter
 
 from repro.core import PreferenceConfig, PreferenceDirectedAllocator
 from repro.errors import ReproError, ServiceError
+from repro.exec import FaultPlan, JobDeadlineError, WorkerPool
 from repro.ir.function import Module
 from repro.ir.parser import parse_module
 from repro.ir.printer import print_function, print_module
 from repro.pipeline import ModuleAllocation, allocate_module, prepare_module
 from repro.profiling import profiled
 from repro.regalloc import (
+    AllocationOptions,
     BriggsAllocator,
     CallCostAllocator,
     ChaitinAllocator,
@@ -110,25 +113,41 @@ def render_allocation(run: ModuleAllocation) -> str:
 
 def execute_request(
     request: AllocationRequest,
-    jobs: int = 1,
+    options: AllocationOptions | None = None,
+    *,
+    jobs: int | None = None,
     effective_allocator: str | None = None,
     prepared=None,
     machine=None,
+    pool: WorkerPool | None = None,
 ) -> AllocationResponse:
     """Run one request through the pipeline (no queue, no cache).
 
     This is the single compute path shared by the scheduler, the
     ``--json`` CLI commands, and the byte-identity tests; callers may
     pass a pre-``prepare_module``-d module to skip re-preparation.
+    ``options`` defaults to the request's own; the bare ``jobs`` keyword
+    is a deprecated shim.  ``pool`` routes parallel allocation through a
+    specific worker pool (the scheduler passes its own).
     """
     request.validate()
     name = effective_allocator or request.allocator
+    if options is None:
+        options = request.options
+    if jobs is not None:
+        warnings.warn(
+            "the 'jobs' keyword is deprecated; pass "
+            "options=AllocationOptions(jobs=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        options = options.replace(jobs=jobs)
     if machine is None:
         machine = request.machine.build()
     if prepared is None:
         prepared = prepare_module(resolve_module(request), machine)
     run = allocate_module(prepared, machine, ALLOCATOR_FACTORIES[name](),
-                          verify=request.verify, jobs=jobs)
+                          options, pool=pool)
     response = AllocationResponse(
         id=request.id,
         ok=True,
@@ -151,21 +170,49 @@ class _Job:
 
 
 class Scheduler:
-    """Queue + worker turning requests into responses."""
+    """Queue + worker turning requests into responses.
+
+    ``options`` is the server-side execution policy applied to every
+    request (most importantly ``jobs``, the worker-pool width); knobs a
+    request carries itself (verify, deadline, max_rounds, ...) stay per
+    request.  The bare ``jobs`` keyword is a deprecated shim.  With
+    ``options.jobs > 1`` the scheduler owns a persistent
+    :class:`~repro.exec.WorkerPool`, giving every allocation process
+    isolation: a crashed or wedged worker is killed and respawned, the
+    job retried, and — past the retry budget — the computation degrades
+    to in-process serial execution rather than erroring.  ``fault_plan``
+    injects deterministic worker faults (tests, resilience benchmark).
+    """
 
     def __init__(
         self,
         cache: ResultCache | None = None,
         metrics: ServiceMetrics | None = None,
-        jobs: int = 1,
+        options: AllocationOptions | None = None,
+        jobs: int | None = None,
         max_queue: int = 64,
         batch_size: int = 8,
         overload_watermark: int | None = None,
         prepared_cache_size: int = 32,
+        fault_plan: FaultPlan | None = None,
     ):
         self.cache = cache
         self.metrics = metrics or ServiceMetrics()
-        self.jobs = jobs
+        if jobs is not None:
+            warnings.warn(
+                "the 'jobs' keyword is deprecated; pass "
+                "options=AllocationOptions(jobs=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            options = (options or AllocationOptions.from_env()).replace(
+                jobs=jobs
+            )
+        self.options = options or AllocationOptions.from_env()
+        self.jobs = self.options.jobs
+        self.pool: WorkerPool | None = None
+        if self.jobs > 1:
+            self.pool = WorkerPool(workers=self.jobs, fault_plan=fault_plan)
         self.batch_size = max(1, batch_size)
         self.overload_watermark = (
             overload_watermark
@@ -237,6 +284,8 @@ class Scheduler:
         self.metrics.set_queue_depth(self._queue.qsize())
         for job in jobs:
             job.future.set_result(self._process(job))
+        if self.pool is not None:
+            self.metrics.set_worker_pool(self.pool.snapshot())
         return len(jobs)
 
     def _prepare_cached(self, normalized_ir: str, request, module, machine):
@@ -264,7 +313,8 @@ class Scheduler:
             timings["parse_s"] = round(perf_counter() - t0, 6)
             self.metrics.observe("parse", timings["parse_s"])
             fingerprint = request_fingerprint(
-                normalized, machine, request.allocator, request.verify
+                normalized, machine, request.allocator,
+                options=request.options,
             )
             if self.cache is not None:
                 hit = self.cache.get(fingerprint)
@@ -280,12 +330,18 @@ class Scheduler:
                     return hit
                 self.metrics.inc("cache_misses")
 
+            # Per-request knobs ride on the request; execution policy
+            # (pool width) is the server's.
+            run_options = request.options.replace(jobs=self.jobs)
             effective = request.allocator
             if request.deadline_s is not None and (
                 perf_counter() - job.submitted_at
             ) > request.deadline_s:
                 self.metrics.inc("deadline_misses")
                 effective = degrade_for(request.allocator)
+                # The deadline already passed; degradation is about
+                # finishing fast now, not about killing more workers.
+                run_options = run_options.replace(deadline_ms=None)
             elif job.overloaded:
                 effective = degrade_for(request.allocator)
 
@@ -298,10 +354,27 @@ class Scheduler:
 
             t0 = perf_counter()
             with profiled() as prof:
-                response = execute_request(
-                    request, jobs=self.jobs, effective_allocator=effective,
-                    prepared=prepared, machine=machine,
-                )
+                try:
+                    response = execute_request(
+                        request, run_options,
+                        effective_allocator=effective,
+                        prepared=prepared, machine=machine, pool=self.pool,
+                    )
+                except JobDeadlineError:
+                    # A worker blew the per-job wall-time budget on every
+                    # retry.  Degrade one rung and rerun without the
+                    # deadline so the client still gets an allocation —
+                    # other queued requests were never blocked (the kill
+                    # freed the worker).
+                    self.metrics.inc("deadline_misses")
+                    self.metrics.inc("worker_deadline_kills")
+                    effective = degrade_for(effective)
+                    response = execute_request(
+                        request,
+                        run_options.replace(deadline_ms=None),
+                        effective_allocator=effective,
+                        prepared=prepared, machine=machine, pool=self.pool,
+                    )
             self.metrics.record_phases(prof.snapshot())
             timings["allocate_s"] = round(perf_counter() - t0, 6)
             self.metrics.observe("allocate", timings["allocate_s"])
@@ -349,6 +422,8 @@ class Scheduler:
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
+        if self.pool is not None:
+            self.pool.shutdown()
         while True:
             try:
                 job = self._queue.get_nowait()

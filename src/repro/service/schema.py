@@ -1,0 +1,89 @@
+"""One registry for every JSON document the repo emits.
+
+Four shapes leave the system: ``allocation`` (``alloc --json``,
+``submit --json``, and every server response line), ``comparison``
+(``compare --json`` / ``bench --json``), ``stats`` (the ``stats``
+control reply), and ``final_stats`` (the snapshot ``serve`` dumps on
+shutdown).  Historically each was assembled at its call site; they now
+all come from here, stamped with a shared ``schema`` version so
+downstream consumers can detect shape changes without guessing from the
+fields.
+
+``schema`` versions the *envelope shapes* in this module; it is
+orthogonal to ``protocol`` (the request/response conversation version,
+:data:`repro.service.protocol.PROTOCOL_VERSION`), which the documents
+keep carrying unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.service.protocol import PROTOCOL_VERSION, AllocationResponse
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SCHEMA_TYPES",
+    "allocation_payload",
+    "comparison_payload",
+    "stats_payload",
+    "final_stats_payload",
+]
+
+#: Bumped whenever any emitted document shape changes incompatibly.
+#: v1: first versioned emission (previously the documents carried only
+#: ``protocol``).
+SCHEMA_VERSION = 1
+
+#: Every ``type`` tag this module can emit.
+SCHEMA_TYPES = ("allocation", "comparison", "stats", "final_stats")
+
+
+def _tagged(payload: dict) -> dict:
+    payload["schema"] = SCHEMA_VERSION
+    return payload
+
+
+def allocation_payload(response: AllocationResponse) -> dict:
+    """The wire/CLI form of one allocation response."""
+    return _tagged(response.to_wire())
+
+
+def comparison_payload(machine_desc: dict, results: dict,
+                       bench: str | None = None) -> dict:
+    """``compare``/``bench`` --json: one sealed response per allocator.
+
+    ``results`` maps allocator name -> allocation payload (each entry is
+    itself an :func:`allocation_payload`-shaped document).
+    """
+    payload = _tagged({
+        "type": "comparison",
+        "protocol": PROTOCOL_VERSION,
+        "machine": machine_desc,
+        "results": results,
+    })
+    if bench is not None:
+        payload["bench"] = bench
+    return payload
+
+
+def stats_payload(queue_depth: int, metrics: dict,
+                  cache: dict | None = None) -> dict:
+    """The ``stats`` control reply of a running server."""
+    payload = _tagged({
+        "type": "stats",
+        "protocol": PROTOCOL_VERSION,
+        "queue_depth": queue_depth,
+        "metrics": metrics,
+    })
+    if cache is not None:
+        payload["cache"] = cache
+    return payload
+
+
+def final_stats_payload(metrics: dict, cache: dict) -> dict:
+    """The snapshot ``serve`` prints when it shuts down."""
+    return _tagged({
+        "type": "final_stats",
+        "protocol": PROTOCOL_VERSION,
+        "metrics": metrics,
+        "cache": cache,
+    })

@@ -33,6 +33,7 @@ from repro.service.protocol import (
     AllocationRequest,
     AllocationResponse,
 )
+from repro.service.schema import allocation_payload, stats_payload
 from repro.service.scheduler import Scheduler
 
 __all__ = ["AllocationServer", "ServerThread", "serve_stdio"]
@@ -46,15 +47,10 @@ def _dispatch_control(message: dict, scheduler: Scheduler) -> dict | None:
     if kind == "ping":
         return {"type": "pong", "protocol": PROTOCOL_VERSION}
     if kind == "stats":
-        stats = {
-            "type": "stats",
-            "protocol": PROTOCOL_VERSION,
-            "queue_depth": scheduler.queue_depth,
-            "metrics": scheduler.metrics.snapshot(),
-        }
-        if scheduler.cache is not None:
-            stats["cache"] = scheduler.cache.snapshot()
-        return stats
+        cache = (scheduler.cache.snapshot()
+                 if scheduler.cache is not None else None)
+        return stats_payload(scheduler.queue_depth,
+                             scheduler.metrics.snapshot(), cache)
     if kind == "shutdown":
         return {"type": "shutdown", "protocol": PROTOCOL_VERSION, "ok": True}
     return {"type": "error", "protocol": PROTOCOL_VERSION,
@@ -62,7 +58,8 @@ def _dispatch_control(message: dict, scheduler: Scheduler) -> dict | None:
 
 
 def _error_line(message: str, request_id: str = "") -> dict:
-    return AllocationResponse.error_response(request_id, message).to_wire()
+    return allocation_payload(
+        AllocationResponse.error_response(request_id, message))
 
 
 class AllocationServer:
@@ -148,7 +145,7 @@ class AllocationServer:
             return _error_line(str(err), str(message.get("id", "")))
         future = self.scheduler.submit(request)
         response = await asyncio.wrap_future(future)
-        return response.to_wire()
+        return allocation_payload(response)
 
 
 def serve_stdio(scheduler: Scheduler, in_stream: IO[str],
@@ -175,7 +172,8 @@ def serve_stdio(scheduler: Scheduler, in_stream: IO[str],
                     reply = _error_line(str(err),
                                         str(message.get("id", "")))
                 else:
-                    reply = scheduler.submit(request).result().to_wire()
+                    reply = allocation_payload(
+                        scheduler.submit(request).result())
         print(canonical_json(reply), file=out_stream, flush=True)
         if reply.get("type") == "shutdown":
             break

@@ -11,6 +11,7 @@ from repro.ir.clone import clone_function
 from repro.ir.values import Const
 from repro.pipeline import prepare_function
 from repro.regalloc import (
+    AllocationOptions,
     Allocator,
     BriggsAllocator,
     CallCostAllocator,
@@ -143,7 +144,8 @@ class TestDriver:
         machine = make_machine(8)
         func = prepare_function(pressure_with_copies(), machine)
         with pytest.raises(AllocationError, match="fixed point"):
-            allocate_function(func, machine, NeverDone(), max_rounds=3)
+            allocate_function(func, machine, NeverDone(),
+                              AllocationOptions(max_rounds=3))
 
     def test_stats_rounds_counts_spill_iterations(self):
         machine = make_machine(4)

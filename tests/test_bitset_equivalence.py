@@ -30,6 +30,7 @@ from repro.core import PreferenceDirectedAllocator
 from repro.ir.clone import clone_function
 from repro.ir.values import PReg, VReg
 from repro.pipeline import allocate_module, prepare_function, prepare_module
+from repro.regalloc import AllocationOptions
 from repro.regalloc.igraph import build_alloc_graph
 from repro.target.presets import make_machine
 from repro.workloads.generator import generate_function, generate_module
@@ -182,7 +183,7 @@ class TestPipelineLevers:
         allocator = PreferenceDirectedAllocator()
         want = self._fingerprint(
             allocate_module(prepared, machine, allocator,
-                            reuse_analyses=False)
+                            AllocationOptions(reuse_analyses=False))
         )
         cold = self._fingerprint(
             allocate_module(prepared, machine, allocator)
@@ -191,7 +192,8 @@ class TestPipelineLevers:
             allocate_module(prepared, machine, allocator)
         )
         fanned = self._fingerprint(
-            allocate_module(prepared, machine, allocator, jobs=2)
+            allocate_module(prepared, machine, allocator,
+                            AllocationOptions(jobs=2))
         )
         assert cold == want
         assert warm == want

@@ -151,6 +151,26 @@ class TestJsonOutput:
         _, second = run_cli(["alloc", sample_ir, "--regs", "8", "--json"])
         assert first == second
 
+    def test_every_json_document_carries_the_schema_version(self,
+                                                            sample_ir):
+        # The four emitted shapes all come from repro.service.schema and
+        # are stamped with one shared version field.
+        from repro.service.schema import SCHEMA_VERSION, final_stats_payload
+
+        _, alloc = run_cli(["alloc", sample_ir, "--regs", "8", "--json"])
+        _, compare = run_cli(["compare", sample_ir, "--regs", "8",
+                              "--json"])
+        _, bench = run_cli(["bench", "jack", "--regs", "16", "--json"])
+        final = final_stats_payload({"counters": {}}, {"entries": 0})
+        for text in (alloc, compare, bench):
+            assert json.loads(text)["schema"] == SCHEMA_VERSION
+        assert final["schema"] == SCHEMA_VERSION
+        assert final["type"] == "final_stats"
+        # comparison entries are full allocation documents themselves
+        for wire in json.loads(compare)["results"].values():
+            assert wire["schema"] == SCHEMA_VERSION
+            assert wire["type"] == "allocation"
+
 
 class TestErrorPaths:
     def test_missing_ir_file(self, capsys):
@@ -237,4 +257,5 @@ class TestServiceCommands:
         assert code == 0
         payload = json.loads(text)
         assert payload["type"] == "stats"
+        assert payload["schema"] >= 1
         assert payload["metrics"]["counters"]["requests_total"] >= 1

@@ -123,10 +123,10 @@ class TestEndToEndIdentity:
         prepared = prepare_module(small_stress_module(2), machine)
 
         def run(mode):
+            # No explicit options: from_env() re-reads the variable on
+            # every call, so the monkeypatched mode takes effect.
             monkeypatch.setenv("REPRO_INCREMENTAL_ROUNDS", mode)
-            return allocate_module(
-                prepared, machine, allocator_cls(), verify=True, jobs=1
-            )
+            return allocate_module(prepared, machine, allocator_cls())
 
         on, off = run("1"), run("0")
         assert on.stats.rounds >= 3
@@ -142,9 +142,7 @@ class TestEndToEndIdentity:
         monkeypatch.setenv("REPRO_INCREMENTAL_ROUNDS", "validate")
         machine = make_machine(8)
         prepared = prepare_module(small_stress_module(), machine)
-        result = allocate_module(
-            prepared, machine, ChaitinAllocator(), verify=True, jobs=1
-        )
+        result = allocate_module(prepared, machine, ChaitinAllocator())
         assert result.stats.rounds >= 3
 
 

@@ -7,6 +7,7 @@ from repro.ir.instructions import ConstInst, SpillLoad
 from repro.ir.values import Const
 from repro.pipeline import prepare_function
 from repro.regalloc import (
+    AllocationOptions,
     ChaitinAllocator,
     allocate_function,
     verify_allocation,
@@ -113,7 +114,7 @@ class TestEndToEnd:
         f1, f2 = clone_function(base), clone_function(base)
         plain = allocate_function(f1, machine, ChaitinAllocator())
         remat = allocate_function(f2, machine, ChaitinAllocator(),
-                                  rematerialize=True)
+                                  AllocationOptions(rematerialize=True))
         assert plain.stats.spill_instructions > 0
         assert remat.stats.spill_instructions < \
             plain.stats.spill_instructions
@@ -127,7 +128,7 @@ class TestEndToEnd:
             machine = make_machine(k)
             func = prepare_function(clone_function(raw), machine)
             allocate_function(func, machine, PreferenceDirectedAllocator(),
-                              rematerialize=True)
+                              AllocationOptions(rematerialize=True))
             verify_allocation(func, machine)
             got = run_function(func, [128], machine=machine,
                                memory=Memory()).value

@@ -6,6 +6,7 @@ import pytest
 
 from repro.errors import ServiceError
 from repro.pipeline import allocate_module, prepare_module
+from repro.regalloc import AllocationOptions
 from repro.reporting import canonical_json
 from repro.service.cache import ResultCache, request_fingerprint
 from repro.service.metrics import LatencyHistogram, ServiceMetrics
@@ -333,7 +334,7 @@ class TestScheduler:
 
 
 class TestPipelineSerialFallback:
-    def test_broken_pool_falls_back_with_warning(self, monkeypatch):
+    def test_unstartable_pool_falls_back_with_warning(self, monkeypatch):
         from repro.ir.parser import parse_module
 
         import repro.pipeline as pipeline
@@ -344,14 +345,14 @@ class TestPipelineSerialFallback:
         want = allocate_module(prepared, machine,
                                ALLOCATOR_FACTORIES["full"]())
 
-        class ExplodingPool:
-            def __init__(self, *a, **kw):
-                raise OSError("no fork for you")
+        def exploding_pool(*a, **kw):
+            raise OSError("no fork for you")
 
-        monkeypatch.setattr(pipeline, "ProcessPoolExecutor", ExplodingPool)
+        monkeypatch.setattr(pipeline, "get_default_pool", exploding_pool)
         with pytest.warns(RuntimeWarning, match="falling back to serial"):
             got = allocate_module(prepared, machine,
-                                  ALLOCATOR_FACTORIES["full"](), jobs=4)
+                                  ALLOCATOR_FACTORIES["full"](),
+                                  AllocationOptions(jobs=4))
         assert got.stats.moves_eliminated == want.stats.moves_eliminated
         assert got.cycles.total == want.cycles.total
         assert render_allocation(got) == render_allocation(want)
