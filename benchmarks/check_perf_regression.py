@@ -15,6 +15,15 @@ allocators' ratios well past any plausible noise band, while uniform
 machine slowness cancels out.  The derived ``speedup_full`` figure is
 checked the same way.  Behavioral fingerprints (moves, spills, cycles)
 are a separate CI step; this gate is about time only.
+
+``--selector`` switches the gate to ``BENCH_selector_scaling.json``
+reports: per workload, the *chaitin-normalized* indexed select+simplify
+time (``select_ratio_vs_chaitin`` — decision-loop seconds per second of
+chaitin over the same function) must stay within tolerance of the
+committed baseline, and every fresh workload must carry
+``validate_ok`` (the pick-for-pick identity cross-check ran).  A
+regression here means the priority indexes degraded back toward the
+scan oracles' scaling curve.
 """
 
 from __future__ import annotations
@@ -35,6 +44,34 @@ def ratios(report: dict, base: str = "chaitin") -> dict[str, float]:
     }
 
 
+def check_selector(fresh: dict, committed: dict,
+                   tolerance: float) -> list[str]:
+    """Gate a selector-scaling report against the committed baseline."""
+    failures = []
+    committed_w = {w["name"]: w for w in committed["workloads"]}
+    fresh_w = {w["name"]: w for w in fresh["workloads"]}
+    print(f"{'workload':>12} {'committed':>10} {'fresh':>10} {'margin':>8}")
+    for name, want_entry in sorted(committed_w.items()):
+        got_entry = fresh_w.get(name)
+        want = want_entry["select_ratio_vs_chaitin"]
+        if got_entry is None:
+            print(f"{name:>12} {want:>10.3f} {'absent':>10} {'':>8}")
+            continue
+        got = got_entry["select_ratio_vs_chaitin"]
+        margin = got / want - 1.0
+        flag = " REGRESSION" if margin > tolerance else ""
+        print(f"{name:>12} {want:>10.3f} {got:>10.3f} {margin:>+7.0%}{flag}")
+        if margin > tolerance:
+            failures.append(
+                f"{name}: select+simplify at {got:.3f}x chaitin vs "
+                f"committed {want:.3f}x (+{margin:.0%} > +{tolerance:.0%})"
+            )
+    for name, entry in sorted(fresh_w.items()):
+        if not entry.get("validate_ok"):
+            failures.append(f"{name}: validate_ok missing from fresh report")
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("fresh", type=Path, help="report from this run")
@@ -43,10 +80,25 @@ def main(argv=None) -> int:
     parser.add_argument("--tolerance", type=float, default=0.40,
                         help="allowed relative slowdown per allocator "
                              "(default 0.40; CI smoke runs few repeats)")
+    parser.add_argument("--selector", action="store_true",
+                        help="gate BENCH_selector_scaling.json reports on "
+                             "chaitin-normalized select+simplify time")
     args = parser.parse_args(argv)
 
     fresh = json.loads(args.fresh.read_text())
     committed = json.loads(args.committed.read_text())
+
+    if args.selector:
+        failures = check_selector(fresh, committed, args.tolerance)
+        if failures:
+            print("\nselector perf regression gate FAILED:", file=sys.stderr)
+            for line in failures:
+                print(f"  - {line}", file=sys.stderr)
+            return 1
+        print("\nselector perf regression gate passed "
+              f"(tolerance +{args.tolerance:.0%})")
+        return 0
+
     fresh_r, committed_r = ratios(fresh), ratios(committed)
 
     failures = []

@@ -29,6 +29,7 @@ is exactly the paper's.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.errors import AllocationError
@@ -48,6 +49,9 @@ class ColoringPrecedenceGraph:
 
     succs: dict[object, set[object]] = field(default_factory=dict)
     preds: dict[object, set[object]] = field(default_factory=dict)
+    #: edge version counter backing the ``initial_queue`` memo
+    _version: int = field(default=0, repr=False)
+    _initial_cache: tuple | None = field(default=None, repr=False)
 
     def ensure(self, node) -> None:
         self.succs.setdefault(node, set())
@@ -58,10 +62,12 @@ class ColoringPrecedenceGraph:
         self.ensure(b)
         self.succs[a].add(b)
         self.preds[b].add(a)
+        self._version += 1
 
     def remove_edge(self, a, b) -> None:
         self.succs.get(a, set()).discard(b)
         self.preds.get(b, set()).discard(a)
+        self._version += 1
 
     def reaches(self, a, b) -> bool:
         """DFS reachability a ->* b."""
@@ -85,11 +91,22 @@ class ColoringPrecedenceGraph:
         return [n for n in self.succs if isinstance(n, VReg)]
 
     def initial_queue(self) -> list[VReg]:
-        """Step 1 of the selection algorithm: the top node's successors."""
-        return sorted(
+        """Step 1 of the selection algorithm: the top node's successors.
+
+        Memoized behind the edge version counter: repeat callers (the
+        ablation drivers re-derive it per traversal) get the cached
+        sorted list instead of a re-sort, and any edge mutation
+        invalidates the memo.
+        """
+        cache = self._initial_cache
+        if cache is not None and cache[0] == self._version:
+            return list(cache[1])
+        out = sorted(
             (n for n in self.succs.get(TOP, ()) if isinstance(n, VReg)),
             key=lambda v: v.id,
         )
+        self._initial_cache = (self._version, tuple(out))
+        return out
 
     def topological_orders_exist(self) -> bool:
         """Cycle check (the construction can never produce one)."""
@@ -106,16 +123,22 @@ class ColoringPrecedenceGraph:
         return seen == len(self.succs)
 
     def any_topological_order(self) -> list[VReg]:
-        """One topological order over live ranges (tests/ablations)."""
+        """One topological order over live ranges (tests/ablations).
+
+        FIFO over a deque — ``popleft`` is O(1) where ``list.pop(0)``
+        shifted the whole queue — with successors enqueued in sorted
+        order, so the emitted order is unchanged and deterministic.
+        """
         indeg = {n: len(p) for n, p in self.preds.items()}
         ready = sorted(
             (n for n, d in indeg.items() if d == 0 and n not in (TOP, BOTTOM)),
             key=_order_key,
         )
-        queue = [TOP] + ready
+        queue = deque([TOP])
+        queue.extend(ready)
         out: list[VReg] = []
         while queue:
-            node = queue.pop(0)
+            node = queue.popleft()
             if isinstance(node, VReg):
                 out.append(node)
             for nxt in sorted(self.succs.get(node, ()), key=_order_key):

@@ -26,6 +26,15 @@ only for the nodes a coloring/spill event can affect (its interference
 neighbors and RPG partners) — the dominant cost of the naive selector
 was re-deriving every queued node's differential at every pick.
 
+The ready queue itself is a lazy max-heap keyed on ``(differential,
+spill_cost, -id)``: ``_after_decision``'s invalidation set — which is
+exactly the set of nodes whose key an event can change — pushes
+refreshed generation-stamped entries instead of merely dropping the
+cached differential, so each pick is O(log n) amortized instead of a
+linear queue scan.  The scan-based ``_choose_node`` is retained as the
+reference oracle behind ``REPRO_SELECT_INDEX=0``; ``validate`` runs
+both and raises on the first divergent pick.
+
 Interpretation notes (the paper leaves these open — see DESIGN.md):
 a single honorable preference yields a differential equal to its own
 strength (memory, at strength 0, is the implicit weakest); nodes with no
@@ -50,6 +59,7 @@ from repro.ir.values import PReg, VReg
 from repro.regalloc.igraph import AllocGraph
 from repro.profiling import phase
 from repro.regalloc.select import order_colors_cached
+from repro.regalloc.worklist import LazyMaxHeap, select_index_mode
 from repro.target.machine import RegisterFile, TargetMachine
 
 __all__ = ["PreferenceSelector", "SelectionTrace"]
@@ -103,6 +113,9 @@ class PreferenceSelector:
     assignment: dict[VReg, PReg] = field(default_factory=dict)
     spilled: set[VReg] = field(default_factory=set)
     honored_prefs: int = 0
+    #: ready-queue engine override: ``"on"``/``"off"``/``"validate"``;
+    #: ``None`` reads the ``REPRO_SELECT_INDEX`` environment setting
+    index_mode: str | None = None
 
     def __post_init__(self) -> None:
         colors = self.graph.colors
@@ -128,6 +141,10 @@ class PreferenceSelector:
         #: cached differentials, invalidated by affecting events only
         self._diff_cache: dict[VReg, float] = {}
         self._group_masks: dict[RegGroup, int] = {}
+        if self.index_mode is None:
+            self.index_mode = select_index_mode()
+        #: lazy max-heap ready queue (None when running the scan oracle)
+        self._ready: LazyMaxHeap | None = None
 
     # ------------------------------------------------------------------
 
@@ -138,21 +155,56 @@ class PreferenceSelector:
             if isinstance(node, VReg)
         }
         queue: set[VReg] = {n for n, d in indegree.items() if d == 0}
+        mode = self.index_mode
+        ready: LazyMaxHeap | None = None
+        if mode != "off":
+            ready = self._ready = LazyMaxHeap()
+            for node in queue:
+                ready.push(node, self._pick_key(node))
 
         with phase("select"):
             while queue:
-                node = self._choose_node(queue)
+                with phase("choose"):
+                    node = self._next_node(queue, ready, mode)
                 queue.discard(node)
-                self._color_node(node)
+                with phase("color"):
+                    self._color_node(node)
                 for succ in self.cpg.succs.get(node, ()):
                     if succ == BOTTOM or not isinstance(succ, VReg):
                         continue
                     indegree[succ] -= 1
                     if indegree[succ] == 0:
                         queue.add(succ)
+                        if ready is not None:
+                            ready.push(succ, self._pick_key(succ))
 
     # ------------------------------------------------------------------
     # step 2-3: node choice
+
+    def _next_node(self, queue: set[VReg], ready: LazyMaxHeap | None,
+                   mode: str) -> VReg:
+        if mode == "off":
+            return self._choose_node(queue)
+        assert ready is not None
+        node = ready.pop()
+        if mode == "validate":
+            oracle = self._choose_node(queue)
+            # Value equality: the pipeline can legitimately hold
+            # equal-but-distinct VReg instances (unpickled or cached
+            # analyses), and every index keys by eq/hash.
+            if node != oracle:
+                raise AllocationError(
+                    f"select-index validation failed: ready heap picked "
+                    f"{node}, scan oracle {oracle}"
+                )
+        return node
+
+    def _pick_key(self, node: VReg) -> tuple:
+        """The ready-queue ordering key (identical to ``_choose_node``)."""
+        differential = self._diff_cache.get(node)
+        if differential is None:
+            differential = self._diff_cache[node] = self._differential(node)
+        return (differential, self.costs.spill_cost(node), -node.id)
 
     def _choose_node(self, queue: set[VReg]) -> VReg:
         diff_cache = self._diff_cache
@@ -353,22 +405,35 @@ class PreferenceSelector:
 
         Neighbors lose ``color`` from their free mask; the nodes whose
         differential the event can change — interference neighbors and
-        RPG partners on either side — drop out of the cache.
+        RPG partners on either side — drop out of the cache.  With the
+        indexed ready queue, the same (exact) invalidation set is then
+        re-keyed: queued members get a refreshed heap entry, superseding
+        their stale one, so the heap's newest entry per node always
+        carries the key the scan oracle would compute at pick time.
         """
         diff_cache = self._diff_cache
         diff_cache.pop(node, None)
         taken = self._taken
         bit = self._color_bit[color] if color is not None else 0
+        affected: list[VReg] = []
         for n in self.graph.all_neighbors(node):
             if bit and n in taken:
                 taken[n] |= bit
             diff_cache.pop(n, None)
+            affected.append(n)
         for edge in self.rpg.edges_to(node):
             diff_cache.pop(edge.src, None)
+            affected.append(edge.src)
         for edge in self.rpg.edges_from(node):
             target = edge.target
             if isinstance(target, VReg):
                 diff_cache.pop(target, None)
+                affected.append(target)
+        ready = self._ready
+        if ready is not None:
+            for n in affected:
+                if n in ready:
+                    ready.push(n, self._pick_key(n))
 
     def _prefers_memory(self, node: VReg, free: int,
                         pref_strengths: list[float]) -> bool:

@@ -3,7 +3,10 @@
 The allocator pipeline is instrumented with ``with phase("name"):``
 blocks at every interesting boundary (prepare / renumber / liveness /
 interference / build-RPG / simplify / CPG / select / spill-insert /
-rewrite).  When no profiler is active — the default — ``phase`` returns
+rewrite), plus decision-loop sub-phases inside the hot ones:
+``simplify/spill_pick`` (spill-candidate choice), ``select/choose``
+(ready-queue pick) and ``select/color`` (color assignment + decision
+propagation).  When no profiler is active — the default — ``phase`` returns
 one shared no-op context manager: the cost is a thread-local read and an
 empty ``__enter__``/``__exit__`` pair, cheap enough to leave the
 instrumentation permanently in place.

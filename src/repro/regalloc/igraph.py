@@ -49,6 +49,13 @@ class AllocGraph:
     #: representative -> all coalesced members (including itself)
     members: dict[Register, set[Register]] = field(default_factory=dict)
     spill_costs: dict[VReg, float] = field(default_factory=dict)
+    #: degree-change notification hook: called as ``listener(node,
+    #: new_degree)`` after any active vreg's degree changes (removal,
+    #: coalescing, or edge insertion).  At most one listener; the
+    #: simplify worklist attaches for the duration of its run so
+    #: low-degree crossings and spill-metric refreshes are event-driven
+    #: instead of rescans (see ``repro.regalloc.worklist``).
+    degree_listener: object | None = field(default=None, repr=False)
 
     # ------------------------------------------------------------------
     # aliases
@@ -119,19 +126,30 @@ class AllocGraph:
             isinstance(b, PReg) or b in self.active
         ):
             self._degree[a] += 1
+            self._note_degree(a)
         if isinstance(b, VReg) and b in self.active and (
             isinstance(a, PReg) or a in self.active
         ):
             self._degree[b] += 1
+            self._note_degree(b)
+
+    def _note_degree(self, node: VReg) -> None:
+        listener = self.degree_listener
+        if listener is not None:
+            listener(node, self._degree[node])
 
     def remove(self, node: VReg) -> None:
         """Simplification removal: take ``node`` out of the active graph."""
         if node not in self.active:
             raise AllocationError(f"removing inactive node {node}")
         self.active.remove(node)
+        listener = self.degree_listener
+        degree = self._degree
         for n in self.adj.get(node, ()):
             if isinstance(n, VReg) and n in self.active:
-                self._degree[n] -= 1
+                degree[n] -= 1
+                if listener is not None:
+                    listener(n, degree[n])
 
     def merge(self, kept: Register, gone: VReg) -> None:
         """Coalesce ``gone`` into ``kept`` (both must be active/precolored)."""
@@ -154,6 +172,7 @@ class AllocGraph:
                 # `kept` lost the (unusual) edge to `gone` itself.
                 if isinstance(kept, VReg):
                     self._degree[kept] -= 1
+                    self._note_degree(kept)
                 kept_adj.discard(gone)
                 continue
             # `gone` left the graph: a neighbor shared with `kept` loses
@@ -163,10 +182,12 @@ class AllocGraph:
             if n in kept_adj:
                 if isinstance(n, VReg) and n in self.active:
                     self._degree[n] -= 1
+                    self._note_degree(n)
             else:
                 self.add_edge(kept, n)
                 if isinstance(n, VReg) and n in self.active:
                     self._degree[n] -= 1
+                    self._note_degree(n)
         self.adj[gone] = set()
         if isinstance(kept, VReg):
             cost = self.spill_costs.get(kept, 0.0) + self.spill_costs.get(

@@ -217,3 +217,68 @@ class TestStructuralInvariants:
         a = run_function(clone_function(func), args, memory=Memory())
         b = run_function(clone_function(func), args, memory=Memory())
         assert a.value == b.value and a.steps == b.steps
+
+
+class TestSelectIndexEquivalence:
+    """PR 5: the indexed decision engines (REPRO_SELECT_INDEX) replay
+    the retained scan oracles decision-for-decision — per-round simplify
+    stacks (including spill picks), the selector's full pick/color
+    trace, and the final assignment are identical in every mode."""
+
+    @SLOW
+    @given(profile=profiles, seed=st.integers(0, 10_000),
+           k=st.sampled_from([4, 8, 16]))
+    def test_decision_sequence_identical(self, profile, seed, k):
+        import os
+
+        from repro.core import allocator as allocator_mod
+
+        func = generate_function("prop", profile, seed)
+        machine = make_machine(k)
+        real_simplify = allocator_mod.simplify
+        prior = os.environ.get("REPRO_SELECT_INDEX")
+        runs = {}
+        try:
+            for mode in ("0", "1", "validate"):
+                os.environ["REPRO_SELECT_INDEX"] = mode
+                stacks = []
+
+                def recording(graph, optimistic=True, **kwargs):
+                    res = real_simplify(graph, optimistic, **kwargs)
+                    stacks.append((list(res.stack), set(res.optimistic),
+                                   set(res.spilled)))
+                    return res
+
+                allocator_mod.simplify = recording
+                alloc = PreferenceDirectedAllocator(keep_trace=True)
+                prepared = prepare_function(clone_function(func), machine)
+                try:
+                    result = allocate_function(prepared, machine, alloc)
+                except AllocationError as err:
+                    # Unallocatable pressure must reproduce identically
+                    # across engines; any other failure is a real bug.
+                    if "pressure cannot be met" not in str(err):
+                        raise
+                    runs[mode] = ("pressure-error", stacks)
+                    continue
+                finally:
+                    allocator_mod.simplify = real_simplify
+                runs[mode] = (
+                    stacks,
+                    list(alloc.last_trace.steps),
+                    sorted((v.id, str(p))
+                           for v, p in result.assignment.items()),
+                    (result.stats.moves_eliminated,
+                     result.stats.spill_loads,
+                     result.stats.spill_stores,
+                     result.stats.spilled_webs,
+                     result.stats.rounds),
+                )
+        finally:
+            allocator_mod.simplify = real_simplify
+            if prior is None:
+                os.environ.pop("REPRO_SELECT_INDEX", None)
+            else:
+                os.environ["REPRO_SELECT_INDEX"] = prior
+        assert runs["0"] == runs["1"]
+        assert runs["1"] == runs["validate"]
