@@ -51,6 +51,7 @@ from repro.ir.values import VReg
 from repro.pipeline import prepare_function
 from repro.profiling import profiled
 from repro.regalloc import ChaitinAllocator, allocate_function
+from repro.service.schema import dataflow_backend_fields
 from repro.target.presets import make_machine
 from repro.workloads.generator import generate_function
 from repro.workloads.profiles import BenchmarkProfile
@@ -242,6 +243,9 @@ def main(argv=None) -> None:
         "seed": SEED,
         "repeats": args.repeats,
         "python": sys.version.split()[0],
+        # Resolving the backend here also front-loads the (lazy) numpy
+        # import, keeping it out of the profiled phase breakdowns.
+        **dataflow_backend_fields(),
         "git_commit": git_commit(),
         "hostname": socket.gethostname(),
         "workloads": [],

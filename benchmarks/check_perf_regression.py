@@ -24,6 +24,16 @@ committed baseline, and every fresh workload must carry
 ``validate_ok`` (the pick-for-pick identity cross-check ran).  A
 regression here means the priority indexes degraded back toward the
 scan oracles' scaling curve.
+
+``--dataflow`` gates the analysis kernels instead: per allocator, the
+chaitin-normalized combined dataflow time — every profiled phase whose
+leaf is ``liveness``, ``interference`` or ``CPG`` (parents are
+inclusive of their sub-phases, so ``solve``/``rows``/``closure``
+children are not double-counted) — must stay within tolerance of the
+committed report.  Reports from different dataflow backends are
+refused outright (the ``backend`` field each report carries): an int
+report sneaking in as the fresh side would otherwise read as a 2x
+"regression" of the numpy kernels, and vice versa as a free pass.
 """
 
 from __future__ import annotations
@@ -72,6 +82,61 @@ def check_selector(fresh: dict, committed: dict,
     return failures
 
 
+#: profiled-phase leaves that make up the combined dataflow metric
+DATAFLOW_LEAVES = ("liveness", "interference", "CPG")
+
+
+def dataflow_seconds(entry: dict) -> float:
+    """Combined liveness+interference+CPG seconds of one allocator."""
+    phases = entry.get("phases") or {}
+    return sum(
+        v["s"] for path, v in phases.items()
+        if path.rsplit("/", 1)[-1] in DATAFLOW_LEAVES
+    )
+
+
+def check_dataflow(fresh: dict, committed: dict,
+                   tolerance: float) -> list[str]:
+    """Gate the chaitin-normalized dataflow phase time per allocator."""
+    for side, report in (("fresh", fresh), ("committed", committed)):
+        if not report.get("backend"):
+            raise SystemExit(
+                f"{side} report carries no dataflow 'backend' field; "
+                "regenerate it with bench_allocator_speed.py"
+            )
+    if fresh["backend"] != committed["backend"]:
+        raise SystemExit(
+            "refusing to compare dataflow phases across backends: "
+            f"fresh is {fresh['backend']!r}, committed is "
+            f"{committed['backend']!r}"
+        )
+    base_fresh = fresh["allocators"]["chaitin"]["best_s"]
+    base_committed = committed["allocators"]["chaitin"]["best_s"]
+    if base_fresh <= 0 or base_committed <= 0:
+        raise SystemExit("degenerate chaitin baseline time")
+
+    failures = []
+    print(f"{'allocator':>16} {'committed':>10} {'fresh':>10} {'margin':>8}")
+    for name, want_entry in sorted(committed["allocators"].items()):
+        want_s = dataflow_seconds(want_entry)
+        got_entry = fresh["allocators"].get(name)
+        if got_entry is None or want_s <= 0:
+            state = "absent" if got_entry is None else "no-phases"
+            print(f"{name:>16} {want_s:>10.4f} {state:>10} {'':>8}")
+            continue
+        want = want_s / base_committed
+        got = dataflow_seconds(got_entry) / base_fresh
+        margin = got / want - 1.0
+        flag = " REGRESSION" if margin > tolerance else ""
+        print(f"{name:>16} {want:>10.3f} {got:>10.3f} {margin:>+7.0%}{flag}")
+        if margin > tolerance:
+            failures.append(
+                f"{name}: dataflow phases at {got:.3f}x chaitin vs "
+                f"committed {want:.3f}x (+{margin:.0%} > +{tolerance:.0%})"
+            )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("fresh", type=Path, help="report from this run")
@@ -83,10 +148,27 @@ def main(argv=None) -> int:
     parser.add_argument("--selector", action="store_true",
                         help="gate BENCH_selector_scaling.json reports on "
                              "chaitin-normalized select+simplify time")
+    parser.add_argument("--dataflow", action="store_true",
+                        help="gate the chaitin-normalized combined "
+                             "liveness+interference+CPG phase time per "
+                             "allocator (same-backend reports only)")
     args = parser.parse_args(argv)
+    if args.selector and args.dataflow:
+        parser.error("--selector and --dataflow are mutually exclusive")
 
     fresh = json.loads(args.fresh.read_text())
     committed = json.loads(args.committed.read_text())
+
+    if args.dataflow:
+        failures = check_dataflow(fresh, committed, args.tolerance)
+        if failures:
+            print("\ndataflow perf regression gate FAILED:", file=sys.stderr)
+            for line in failures:
+                print(f"  - {line}", file=sys.stderr)
+            return 1
+        print("\ndataflow perf regression gate passed "
+              f"(tolerance +{args.tolerance:.0%})")
+        return 0
 
     if args.selector:
         failures = check_selector(fresh, committed, args.tolerance)

@@ -47,17 +47,20 @@ import os
 from collections import deque
 from dataclasses import dataclass
 
+from repro.analysis import matrix
 from repro.analysis.indexing import index_function
 from repro.analysis.interference import (
     InterferenceGraph,
     finish_interference,
     scan_block_rows,
 )
-from repro.analysis.liveness import Liveness, _block_masks
+from repro.analysis.liveness import LazySetsLiveness, Liveness, _block_masks
 from repro.analysis.renumber import RenumberResult
+from repro.errors import AllocationError
 from repro.ir.function import Function
 from repro.ir.instructions import Move
 from repro.ir.values import PReg, VReg
+from repro.profiling import phase
 from repro.regalloc.costs import block_spill_costs
 from repro.regalloc.spill import SpillDelta
 
@@ -116,7 +119,42 @@ def apply_spill_delta(
     renumbered; ``renumbering`` is that renumber's result.  Returns
     ``None`` whenever an assumption the patch relies on does not hold,
     in which case the caller recomputes from scratch.
+
+    The ``REPRO_DATAFLOW`` backend applies here too: the numpy variant
+    translates every untouched mask through one batched column permute
+    and re-solves with matrix sweeps, the int variant keeps the
+    chunk-memoized scalar translation and worklist, and ``validate``
+    runs both and raises on any divergence — so PR-3's byte-identical
+    guarantee is enforced across backends, not just across rounds.
     """
+    mode = matrix.dataflow_mode()
+    if mode == "int":
+        return _apply_spill_delta(func, prev, delta, renumbering, False)
+    if mode == "numpy":
+        return _apply_spill_delta(func, prev, delta, renumbering, True)
+    got = _apply_spill_delta(func, prev, delta, renumbering, True)
+    want = _apply_spill_delta(func, prev, delta, renumbering, False)
+    if (got is None) != (want is None):
+        raise AllocationError(
+            "dataflow backends disagree on spill-delta preconditions"
+        )
+    if got is not None:
+        problems = compare_analyses(got, want)
+        if problems:
+            raise AllocationError(
+                "dataflow backends diverged in spill-round patch: "
+                + "; ".join(problems)
+            )
+    return got
+
+
+def _apply_spill_delta(
+    func: Function,
+    prev,
+    delta: SpillDelta,
+    renumbering: RenumberResult,
+    use_matrix: bool,
+) -> PatchedAnalyses | None:
     old_liv: Liveness = prev.liveness
     old_index = old_liv.index
     if (old_index is None or prev.block_rows is None
@@ -143,6 +181,9 @@ def apply_spill_delta(
     index = index_function(func)
     new_ids = index.ids
     trans = [0] * len(old_index)
+    #: old dense id -> new dense id (-1 drops), the batched-translation
+    #: twin of ``trans``
+    trans_pos = [-1] * len(old_index)
     for old_id, reg in enumerate(old_index.regs):
         if isinstance(reg, PReg):
             new = reg
@@ -156,6 +197,7 @@ def apply_spill_delta(
         if new_id is None:
             return None
         trans[old_id] = 1 << new_id
+        trans_pos[old_id] = new_id
 
     # Masks within one function repeat heavily — live-through sets and
     # interference rows of neighboring blocks share almost all their
@@ -189,118 +231,218 @@ def apply_spill_delta(
         return out
 
     # --- liveness: reuse untouched summaries, re-solve from touched ----
-    gen: dict[str, int] = {}
-    kill: dict[str, int] = {}
-    old_gen = old_liv.use_mask
-    old_kill = old_liv.defs_mask
-    for blk in func.blocks:
-        label = blk.label
-        if label in touched:
-            g, k, phi_defs = _block_masks(blk, index)
-            if phi_defs:
-                return None  # allocation-time functions are phi-free
-            gen[label], kill[label] = g, k
+    with phase("liveness"):
+        gen: dict[str, int] = {}
+        kill: dict[str, int] = {}
+        old_gen = old_liv.use_mask
+        old_kill = old_liv.defs_mask
+        old_in = old_liv.live_in_mask
+        old_out = old_liv.live_out_mask
+        live_in: dict[str, int] = {}
+        live_out: dict[str, int] = {}
+        if use_matrix:
+            # One batched column permute translates every untouched
+            # summary and the whole seed solution at once.
+            to_translate: list[int] = []
+            untouched_labels: list[str] = []
+            for blk in func.blocks:
+                label = blk.label
+                if label not in touched:
+                    g_old = old_gen.get(label)
+                    if g_old is None:
+                        return None
+                    untouched_labels.append(label)
+                    to_translate.append(g_old)
+                    to_translate.append(old_kill[label])
+            for blk in func.blocks:
+                to_translate.append(old_in[blk.label])
+                to_translate.append(old_out[blk.label])
+            translated = matrix.translate_masks(
+                to_translate, trans_pos, len(old_index), len(index)
+            )
+            summaries = {
+                label: (translated[2 * i], translated[2 * i + 1])
+                for i, label in enumerate(untouched_labels)
+            }
+            base = 2 * len(untouched_labels)
+            for blk in func.blocks:
+                label = blk.label
+                if label in touched:
+                    g, k, phi_defs = _block_masks(blk, index)
+                    if phi_defs:
+                        return None  # allocation-time funcs are phi-free
+                    gen[label], kill[label] = g, k
+                else:
+                    gen[label], kill[label] = summaries[label]
+            for j, blk in enumerate(func.blocks):
+                live_in[blk.label] = translated[base + 2 * j]
+                live_out[blk.label] = translated[base + 2 * j + 1]
         else:
-            g_old = old_gen.get(label)
-            if g_old is None:
-                return None
-            gen[label] = translate(g_old)
-            kill[label] = translate(old_kill[label])
+            for blk in func.blocks:
+                label = blk.label
+                if label in touched:
+                    g, k, phi_defs = _block_masks(blk, index)
+                    if phi_defs:
+                        return None  # allocation-time funcs are phi-free
+                    gen[label], kill[label] = g, k
+                else:
+                    g_old = old_gen.get(label)
+                    if g_old is None:
+                        return None
+                    gen[label] = translate(g_old)
+                    kill[label] = translate(old_kill[label])
+            for blk in func.blocks:
+                label = blk.label
+                live_in[label] = translate(old_in[label])
+                live_out[label] = translate(old_out[label])
 
-    live_in: dict[str, int] = {}
-    live_out: dict[str, int] = {}
-    old_in = old_liv.live_in_mask
-    old_out = old_liv.live_out_mask
-    for blk in func.blocks:
-        label = blk.label
-        live_in[label] = translate(old_in[label])
-        live_out[label] = translate(old_out[label])
+        with phase("solve"):
+            if use_matrix:
+                # The translated seed sits below the new fixed point
+                # (deleted bits dropped, survivors renamed), so matrix
+                # sweeps converge to — and certify — the same unique
+                # fixed point the scalar worklist reaches.
+                live_in, live_out = matrix.sweep_liveness(
+                    gen, kill, live_in, cfg.succs, len(index)
+                )
+            else:
+                succs = cfg.succs
+                preds = cfg.preds
+                pending = deque(
+                    lbl for lbl in cfg.postorder() if lbl in touched
+                )
+                queued = set(pending)
+                while pending:
+                    label = pending.popleft()
+                    queued.discard(label)
+                    out = 0
+                    for succ in succs[label]:
+                        out |= live_in[succ]
+                    new_in = gen[label] | (out & ~kill[label])
+                    live_out[label] = out
+                    if new_in != live_in[label]:
+                        live_in[label] = new_in
+                        for pred in preds[label]:
+                            if pred not in queued:
+                                queued.add(pred)
+                                pending.append(pred)
 
-    succs = cfg.succs
-    preds = cfg.preds
-    pending = deque(lbl for lbl in cfg.postorder() if lbl in touched)
-    queued = set(pending)
-    while pending:
-        label = pending.popleft()
-        queued.discard(label)
-        out = 0
-        for succ in succs[label]:
-            out |= live_in[succ]
-        new_in = gen[label] | (out & ~kill[label])
-        live_out[label] = out
-        if new_in != live_in[label]:
-            live_in[label] = new_in
-            for pred in preds[label]:
-                if pred not in queued:
-                    queued.add(pred)
-                    pending.append(pred)
-
-    liveness = Liveness(index=index, live_in_mask=live_in,
-                        live_out_mask=live_out, use_mask=gen,
-                        defs_mask=kill)
-    set_of = index.set_of
-    for blk in func.blocks:
-        label = blk.label
-        liveness.live_in[label] = set_of(live_in[label])
-        liveness.live_out[label] = set_of(live_out[label])
-        liveness.use[label] = set_of(gen[label])
-        liveness.defs[label] = set_of(kill[label])
+        if use_matrix:
+            # Set views materialize lazily — the spill-round loop only
+            # reads the mask tables.
+            liveness = LazySetsLiveness(index=index, live_in_mask=live_in,
+                                        live_out_mask=live_out,
+                                        use_mask=gen, defs_mask=kill)
+            liveness.mark_pending()
+        else:
+            liveness = Liveness(index=index, live_in_mask=live_in,
+                                live_out_mask=live_out, use_mask=gen,
+                                defs_mask=kill)
+            set_of = index.set_of
+            for blk in func.blocks:
+                label = blk.label
+                liveness.live_in[label] = set_of(live_in[label])
+                liveness.live_out[label] = set_of(live_out[label])
+                liveness.use[label] = set_of(gen[label])
+                liveness.defs[label] = set_of(kill[label])
 
     # --- interference: translate untouched rows, re-scan touched -------
-    moves: list[Move] = []
-    rows: dict[int, int] = {}
-    block_rows: dict[str, dict[int, int]] = {}
-    for blk in func.blocks:
-        label = blk.label
-        local: dict[int, int] = {}
-        if label in touched:
-            scan_block_rows(blk, index, live_out[label], local, moves)
+    with phase("interference"):
+        moves: list[Move] = []
+        rows: dict[int, int] = {}
+        block_rows: dict[str, dict[int, int]] = {}
+        with phase("rows"):
+            translated_rows: list[int] = []
+            pending_rows: dict[str, list[tuple[int, int]]] = {}
+            if use_matrix:
+                # Gather every untouched row first so one batched
+                # permute translates them all.
+                row_masks: list[int] = []
+                for blk in func.blocks:
+                    label = blk.label
+                    if label in touched:
+                        continue
+                    old_rows = prev.block_rows.get(label)
+                    if old_rows is None:
+                        return None
+                    placed: list[tuple[int, int]] = []
+                    for i, row in old_rows.items():
+                        bit = trans[i]
+                        if not bit:
+                            continue  # a deleted register's row vanishes
+                        placed.append((bit.bit_length() - 1,
+                                       len(row_masks)))
+                        row_masks.append(row)
+                    pending_rows[label] = placed
+                translated_rows = matrix.translate_masks(
+                    row_masks, trans_pos, len(old_index), len(index)
+                )
+            for blk in func.blocks:
+                label = blk.label
+                local: dict[int, int] = {}
+                if label in touched:
+                    scan_block_rows(blk, index, live_out[label], local,
+                                    moves)
+                else:
+                    if use_matrix:
+                        for new_id, mi in pending_rows[label]:
+                            local[new_id] = translated_rows[mi]
+                    else:
+                        old_rows = prev.block_rows.get(label)
+                        if old_rows is None:
+                            return None
+                        for i, row in old_rows.items():
+                            bit = trans[i]
+                            if not bit:
+                                # a deleted register's own row vanishes
+                                continue
+                            local[bit.bit_length() - 1] = translate(row)
+                    # Renumber rewrites instructions in place, so the
+                    # block's Move objects persist; collect them in
+                    # builder order.
+                    for instr in reversed(blk.instrs):
+                        if isinstance(instr, Move):
+                            moves.append(instr)
+                block_rows[label] = local
+                for i, row in local.items():
+                    rows[i] = rows.get(i, 0) | row
+        if use_matrix:
+            sym = matrix.symmetrize_matrix(
+                matrix.rows_matrix(rows, len(index)), len(index)
+            )
+            ig = InterferenceGraph(moves=moves, index=index,
+                                   rows=matrix.MatrixRows(sym))
         else:
-            old_rows = prev.block_rows.get(label)
-            if old_rows is None:
-                return None
-            for i, row in old_rows.items():
-                bit = trans[i]
-                if not bit:
-                    continue  # a deleted register's own row vanishes
-                local[bit.bit_length() - 1] = translate(row)
-            # Renumber rewrites instructions in place, so the block's
-            # Move objects persist; collect them in builder order.
-            for instr in reversed(blk.instrs):
-                if isinstance(instr, Move):
-                    moves.append(instr)
-        block_rows[label] = local
-        for i, row in local.items():
-            rows[i] = rows.get(i, 0) | row
-    ig = finish_interference(index, rows, moves)
-    ig.block_rows = block_rows
+            ig = finish_interference(index, rows, moves)
+        ig.block_rows = block_rows
 
     # --- spill costs: rename untouched contributions, re-scan touched --
-    loops = prev.loops
-    costs: dict[VReg, float] = {}
-    block_costs: dict[str, dict[VReg, float]] = {}
-    for blk in func.blocks:
-        label = blk.label
-        if label in touched:
-            local = block_spill_costs(blk, loops.freq(label))
-        else:
-            old_local = prev.block_costs.get(label)
-            if old_local is None:
-                return None
-            local = {}
-            for v, c in old_local.items():
-                nv = rename.get(v)
-                if nv is None:
-                    # A deleted register can only occur in touched
-                    # blocks; reaching here means the delta lied.
+    with phase("spill-costs"):
+        loops = prev.loops
+        costs: dict[VReg, float] = {}
+        block_costs: dict[str, dict[VReg, float]] = {}
+        for blk in func.blocks:
+            label = blk.label
+            if label in touched:
+                local = block_spill_costs(blk, loops.freq(label))
+            else:
+                old_local = prev.block_costs.get(label)
+                if old_local is None:
                     return None
-                local[nv] = c
-        block_costs[label] = local
-        for v, c in local.items():
-            costs[v] = costs.get(v, 0.0) + c
-    for param in func.params:
-        if isinstance(param, VReg):
-            costs.setdefault(param, 0.0)
+                local = {}
+                for v, c in old_local.items():
+                    nv = rename.get(v)
+                    if nv is None:
+                        # A deleted register can only occur in touched
+                        # blocks; reaching here means the delta lied.
+                        return None
+                    local[nv] = c
+            block_costs[label] = local
+            for v, c in local.items():
+                costs[v] = costs.get(v, 0.0) + c
+        for param in func.params:
+            if isinstance(param, VReg):
+                costs.setdefault(param, 0.0)
 
     return PatchedAnalyses(liveness=liveness, ig=ig, spill_costs=costs,
                            block_rows=block_rows, block_costs=block_costs)

@@ -31,11 +31,14 @@ coalescing worklist every allocator variant starts from.
 
 from __future__ import annotations
 
+from repro.analysis import matrix
 from repro.analysis.liveness import Liveness, compute_liveness
 from repro.cfg.analysis import CFG, build_cfg
+from repro.errors import AllocationError
 from repro.ir.function import Function
 from repro.ir.instructions import Move, Phi
 from repro.ir.values import PReg, RegClass, Register, VReg
+from repro.profiling import phase
 
 __all__ = [
     "InterferenceGraph",
@@ -149,12 +152,24 @@ class InterferenceGraph:
 
         Returns None when the graph has no bitmask form.  Unlike
         :meth:`neighbors` this never materializes the full adjacency;
-        the caller owns the returned set.
+        the caller owns the returned set.  Matrix-backed rows decode
+        every row in one vectorized batch on the first call (per-class
+        projection touches them all anyway); each call still hands out
+        a fresh copy.
         """
-        if self.rows is None:
+        rows = self.rows
+        if rows is None:
             return None
+        if isinstance(rows, matrix.MatrixRows):
+            sets = getattr(self, "_row_sets", None)
+            if sets is None:
+                sets = self._row_sets = matrix.sets_of_masks(
+                    self.index, rows.masks()
+                )
+            i = self.index.ids[node]
+            return set(sets[i]) if i < len(sets) else set()
         regs = self.index.regs
-        row = self.rows.get(self.index.ids[node], 0)
+        row = rows.get(self.index.ids[node], 0)
         neighbors = set()
         while row:
             low = row & -row
@@ -274,7 +289,43 @@ def build_interference(
         liveness = compute_liveness(func, cfg)
     if liveness.index is None:
         return build_interference_reference(func, cfg, liveness)
+    mode = matrix.dataflow_mode()
+    if mode == "int":
+        return _build_interference_int(func, liveness, collect_block_rows)
+    if mode == "numpy":
+        return _build_interference_numpy(func, liveness, collect_block_rows)
+    got = _build_interference_numpy(func, liveness, collect_block_rows)
+    want = _build_interference_int(func, liveness, collect_block_rows)
+    problems = _compare_interference(got, want)
+    if problems:
+        raise AllocationError(
+            "dataflow backends diverged in interference: "
+            + "; ".join(problems)
+        )
+    return got
 
+
+def _compare_interference(got: InterferenceGraph,
+                          want: InterferenceGraph) -> list[str]:
+    """Row-by-row divergence report between two bitmask-form graphs."""
+    problems = []
+    if got.index.regs != want.index.regs:
+        problems.append("register index order differs")
+    for i in range(len(want.index)):
+        if got.rows.get(i, 0) != want.rows.get(i, 0):
+            problems.append(f"adjacency row {i} differs")
+            break
+    if ([(m.dst, m.src) for m in got.moves]
+            != [(m.dst, m.src) for m in want.moves]):
+        problems.append("move list differs")
+    if got.block_rows != want.block_rows:
+        problems.append("block rows differ")
+    return problems
+
+
+def _build_interference_int(
+    func: Function, liveness: Liveness, collect_block_rows: bool
+) -> InterferenceGraph:
     index = liveness.index
     out_mask = liveness.live_out_mask
 
@@ -285,17 +336,74 @@ def build_interference(
         {} if collect_block_rows else None
     )
 
-    for blk in func.blocks:
-        if block_rows is None:
-            scan_block_rows(blk, index, out_mask[blk.label], rows, moves)
-        else:
-            local: dict[int, int] = {}
-            scan_block_rows(blk, index, out_mask[blk.label], local, moves)
-            block_rows[blk.label] = local
-            for i, row in local.items():
-                rows[i] = rows.get(i, 0) | row
+    with phase("rows"):
+        for blk in func.blocks:
+            if block_rows is None:
+                scan_block_rows(blk, index, out_mask[blk.label], rows, moves)
+            else:
+                local: dict[int, int] = {}
+                scan_block_rows(blk, index, out_mask[blk.label], local, moves)
+                block_rows[blk.label] = local
+                for i, row in local.items():
+                    rows[i] = rows.get(i, 0) | row
 
     graph = finish_interference(index, rows, moves)
+    graph.block_rows = block_rows
+    return graph
+
+
+def _build_interference_numpy(
+    func: Function, liveness: Liveness, collect_block_rows: bool
+) -> InterferenceGraph:
+    """Pack-driven scan + one matrix symmetrization.
+
+    Produces the same one-sided rows as the int scan (mask-for-mask,
+    including per-block ``block_rows``), then symmetrizes them with one
+    bit-transpose instead of the per-bit mirroring loop.  The graph's
+    ``rows`` is a :class:`~repro.analysis.matrix.MatrixRows` view —
+    same ``.get`` contract, rows decoded lazily.
+    """
+    pack = liveness.pack
+    if pack is None:
+        # Liveness came from the int backend (e.g. the mode changed
+        # between phases); one extra walk rebuilds the packed form.
+        pack = matrix.build_pack(func)
+    index = liveness.index
+    out_mask = liveness.live_out_mask
+    entries_of = pack.block_entries
+    has_phi = pack.has_phi
+
+    moves: list[Move] = []
+    #: dense one-sided rows, indexed by dense id (the pack walk has
+    #: already registered every register, so the index is complete)
+    rows: list[int] = [0] * len(index)
+    block_rows: dict[str, dict[int, int]] | None = (
+        {} if collect_block_rows else None
+    )
+
+    with phase("rows"):
+        row_and = pack.def_and_masks()
+        for blk in func.blocks:
+            label = blk.label
+            if label in has_phi:
+                raise ValueError("interference runs after out-of-SSA")
+            entries = entries_of[label]
+            if block_rows is None:
+                matrix.scan_packed_block_dense(entries, out_mask[label],
+                                               rows, moves, row_and)
+            else:
+                local: dict[int, int] = {}
+                matrix.scan_packed_block(entries, out_mask[label], local,
+                                         moves, row_and)
+                block_rows[label] = local
+                for i, row in local.items():
+                    rows[i] |= row
+
+    sym = matrix.symmetrize_matrix(
+        matrix.pack_masks(rows, matrix.words_for(len(index))), len(index)
+    )
+    graph = InterferenceGraph(moves=moves, index=index,
+                              rows=matrix.MatrixRows(sym))
     graph.block_rows = block_rows
     return graph
 

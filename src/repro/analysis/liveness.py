@@ -22,11 +22,14 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro.analysis import matrix
 from repro.analysis.indexing import RegisterIndex, index_function
 from repro.cfg.analysis import CFG, build_cfg
+from repro.errors import AllocationError
 from repro.ir.function import BasicBlock, Function
 from repro.ir.instructions import Phi
 from repro.ir.values import PReg, Register, VReg
+from repro.profiling import phase
 
 __all__ = [
     "Liveness",
@@ -62,6 +65,10 @@ class Liveness:
     #: summaries without rescanning their instructions
     use_mask: dict[str, int] = field(default_factory=dict)
     defs_mask: dict[str, int] = field(default_factory=dict)
+    #: the :class:`~repro.analysis.matrix.FunctionPack` this liveness was
+    #: computed from (numpy backend only; None on the int backend).  The
+    #: interference builder reuses it to skip re-walking the function.
+    pack: object | None = field(default=None, repr=False)
 
     def live_across_instr(self, block: BasicBlock, index: int) -> set[Register]:
         """Registers live immediately *after* ``block.instrs[index]``.
@@ -124,10 +131,113 @@ def _block_masks(
     return gen, kill, phi_defs
 
 
+def _lazy_set_field(name: str) -> property:
+    storage = "_" + name
+
+    def getter(self):
+        self._ensure_sets()
+        return self.__dict__[storage]
+
+    def setter(self, value):
+        self.__dict__[storage] = value
+
+    return property(getter, setter)
+
+
+class LazySetsLiveness(Liveness):
+    """Liveness whose Register-set views materialize on first access.
+
+    The allocation loop consumes only the mask tables; the set dicts
+    serve SSA construction, the reference oracles, and tests.  The
+    numpy backend therefore defers their (batched, vectorized)
+    materialization until something actually reads one — any access
+    fills all four dicts, after which they behave exactly like the
+    eagerly-built ones (same contents, same block insertion order).
+    """
+
+    live_in = _lazy_set_field("live_in")
+    live_out = _lazy_set_field("live_out")
+    use = _lazy_set_field("use")
+    defs = _lazy_set_field("defs")
+
+    def mark_pending(self) -> None:
+        self.__dict__["_pending_sets"] = True
+
+    def _ensure_sets(self) -> None:
+        if not self.__dict__.get("_pending_sets"):
+            return
+        self.__dict__["_pending_sets"] = False
+        labels = list(self.use_mask)
+        masks: list[int] = []
+        in_m, out_m = self.live_in_mask, self.live_out_mask
+        g_m, k_m = self.use_mask, self.defs_mask
+        for label in labels:
+            masks.append(in_m[label])
+            masks.append(out_m[label])
+            masks.append(g_m[label])
+            masks.append(k_m[label])
+        sets = matrix.sets_of_masks(self.index, masks)
+        d = self.__dict__
+        li, lo, us, df = d["_live_in"], d["_live_out"], d["_use"], d["_defs"]
+        for i, label in enumerate(labels):
+            li[label] = sets[4 * i]
+            lo[label] = sets[4 * i + 1]
+            us[label] = sets[4 * i + 2]
+            df[label] = sets[4 * i + 3]
+
+
 def compute_liveness(func: Function, cfg: CFG | None = None) -> Liveness:
-    """Worklist bitmask dataflow to a fixed point."""
+    """Block liveness via the selected dataflow backend.
+
+    ``REPRO_DATAFLOW`` picks the engine: the int worklist kernel, the
+    numpy bit-matrix sweeps (:mod:`repro.analysis.matrix`), or
+    ``validate`` which runs both and raises
+    :class:`~repro.errors.AllocationError` on any mask divergence.  All
+    modes produce identical results — the fixed point is unique.
+    """
     if cfg is None:
         cfg = build_cfg(func)
+    mode = matrix.dataflow_mode()
+    if mode == "int":
+        return _compute_liveness_int(func, cfg)
+    if mode == "numpy":
+        return _compute_liveness_numpy(func, cfg)
+    result = _compute_liveness_numpy(func, cfg)
+    expect = _compute_liveness_int(func, cfg)
+    problems = _compare_liveness(result, expect)
+    if problems:
+        raise AllocationError(
+            "dataflow backends diverged in liveness: " + "; ".join(problems)
+        )
+    return result
+
+
+def _compare_liveness(got: Liveness, want: Liveness) -> list[str]:
+    """Field-by-field divergence report between two Liveness results."""
+    problems = []
+    if got.index.regs != want.index.regs:
+        problems.append("register index order differs")
+    for name in ("live_in_mask", "live_out_mask", "use_mask", "defs_mask",
+                 "live_in", "live_out", "use", "defs"):
+        if getattr(got, name) != getattr(want, name):
+            problems.append(f"{name} differs")
+    return problems
+
+
+def _compute_liveness_numpy(func: Function, cfg: CFG) -> Liveness:
+    """The numpy bit-matrix backend: one pack walk + row sweeps."""
+    pack = matrix.build_pack(func)
+    with phase("solve"):
+        live_in, live_out = matrix.solve_liveness(pack, cfg)
+    result = LazySetsLiveness(index=pack.index, live_in_mask=live_in,
+                              live_out_mask=live_out, use_mask=pack.gen,
+                              defs_mask=pack.kill, pack=pack)
+    result.mark_pending()
+    return result
+
+
+def _compute_liveness_int(func: Function, cfg: CFG) -> Liveness:
+    """Worklist bitmask dataflow to a fixed point (int backend)."""
     index = index_function(func)
     blocks = func.block_map()
 
@@ -152,23 +262,24 @@ def compute_liveness(func: Function, cfg: CFG | None = None) -> Liveness:
     order = cfg.postorder()
     preds = cfg.preds
     succs = cfg.succs
-    pending = deque(order)
-    queued = set(order)
-    while pending:
-        label = pending.popleft()
-        queued.discard(label)
-        out = 0
-        for succ in succs[label]:
-            out |= live_in[succ] & ~phi_defs[succ]
-            out |= edge_use.get((label, succ), 0)
-        new_in = (gen[label] | (out & ~kill[label])) & ~phi_defs[label]
-        live_out[label] = out
-        if new_in != live_in[label]:
-            live_in[label] = new_in
-            for pred in preds[label]:
-                if pred not in queued:
-                    queued.add(pred)
-                    pending.append(pred)
+    with phase("solve"):
+        pending = deque(order)
+        queued = set(order)
+        while pending:
+            label = pending.popleft()
+            queued.discard(label)
+            out = 0
+            for succ in succs[label]:
+                out |= live_in[succ] & ~phi_defs[succ]
+                out |= edge_use.get((label, succ), 0)
+            new_in = (gen[label] | (out & ~kill[label])) & ~phi_defs[label]
+            live_out[label] = out
+            if new_in != live_in[label]:
+                live_in[label] = new_in
+                for pred in preds[label]:
+                    if pred not in queued:
+                        queued.add(pred)
+                        pending.append(pred)
 
     result = Liveness(index=index, live_in_mask=live_in,
                       live_out_mask=live_out, use_mask=gen, defs_mask=kill)

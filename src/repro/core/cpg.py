@@ -32,12 +32,20 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro.analysis import matrix
 from repro.errors import AllocationError
 from repro.ir.values import VReg
+from repro.profiling import phase
 from repro.regalloc.igraph import AllocGraph
 from repro.regalloc.simplify import SimplifyResult
 
 __all__ = ["ColoringPrecedenceGraph", "build_cpg"]
+
+#: Below this many WIG nodes the matrix-backend replay keeps its
+#: reachability rows as scalar Python ints — per-call numpy overhead
+#: beats word-parallelism on masks this small.  Tests force 0 to drive
+#: the batched branch on small graphs.
+MATRIX_MIN_NODES = 192
 
 TOP = "top"
 BOTTOM = "bottom"
@@ -177,24 +185,51 @@ def build_cpg(
     graph *before* simplification removed anything (the WIG); ``graph``
     supplies K and the fixed physical-register degree offsets.
 
-    The replay runs over dense-id bitmasks: the WIG adjacency becomes
-    one int row per node, "degree" a popcount against the alive mask,
-    and the step-7 transitivity test a single ``&`` against an
-    incrementally-maintained reachability closure.  The closure stays
-    exact because a node's out-edges are complete before any in-edge is
-    added to it — in-edges to ``X`` appear only at ``X``'s own pop, after
-    which ``X`` (removed from the WIG) never gains another successor.
+    ``REPRO_DATAFLOW`` picks the replay engine — the int-bitmask closure
+    below, or the matrix variant (batched degree popcounts and row-OR
+    reachability propagation) — and ``validate`` runs both and raises on
+    any difference, including node/edge *insertion order*, which the
+    selector's dict iteration observes.  Both engines build the CPG
+    edge-for-edge identically.
     """
-    from repro.analysis.indexing import iter_bits
+    mode = matrix.dataflow_mode()
+    if mode == "int":
+        return _build_cpg_int(graph, wig_adjacency, simplification)
+    if mode == "numpy":
+        return _build_cpg_matrix(graph, wig_adjacency, simplification)
+    got = _build_cpg_matrix(graph, wig_adjacency, simplification)
+    want = _build_cpg_int(graph, wig_adjacency, simplification)
+    problems = _compare_cpgs(got, want)
+    if problems:
+        raise AllocationError(
+            "dataflow backends diverged in CPG: " + "; ".join(problems)
+        )
+    return got
 
-    k = graph.k
+
+def _compare_cpgs(got: ColoringPrecedenceGraph,
+                  want: ColoringPrecedenceGraph) -> list[str]:
+    problems = []
+    if list(got.succs) != list(want.succs):
+        problems.append("succs insertion order differs")
+    if list(got.preds) != list(want.preds):
+        problems.append("preds insertion order differs")
+    if got.succs != want.succs:
+        problems.append("successor sets differ")
+    if got.preds != want.preds:
+        problems.append("predecessor sets differ")
+    if got._version != want._version:
+        problems.append("edge version counters differ")
+    return problems
+
+
+def _wig_rows(graph: AllocGraph, wig_adjacency: dict[VReg, set[VReg]]):
+    """Dense-id node list, int adjacency rows, and preg-degree offsets."""
     # Dense ids in ascending-vreg-id order, mirroring the step-4 walk.
     nodes: list[VReg] = sorted(wig_adjacency, key=lambda v: v.id)
     idx = {node: i for i, node in enumerate(nodes)}
-    n = len(nodes)
-    bottom_bit = 1 << n
-    adj = [0] * n
-    preg_deg = [0] * n
+    adj = [0] * len(nodes)
+    preg_deg = [0] * len(nodes)
     for node, neigh in wig_adjacency.items():
         i = idx[node]
         mask = 0
@@ -204,6 +239,71 @@ def build_cpg(
         preg_deg[i] = sum(
             1 for x in graph.adj.get(node, ()) if not isinstance(x, VReg)
         )
+    return nodes, idx, adj, preg_deg
+
+
+def _wig_rows_usable(graph: AllocGraph, wig_adjacency) -> bool:
+    """Whether ``graph``'s packed interference rows still equal the WIG.
+
+    True only when the graph was projected from a bitmask interference
+    graph, nothing has rewritten its adjacency since (coalescing or edge
+    insertion clears ``adj_pristine``; simplification removals do not),
+    and the snapshot covers every build-time vreg — i.e. it was taken
+    before any removal, so neither its key set nor its neighbor sets
+    were filtered by ``active``.
+    """
+    return (
+        graph.source_rows is not None
+        and graph.adj_pristine
+        and len(wig_adjacency) == graph.initial_vregs > 0
+        and matrix.have_numpy()
+    )
+
+
+def _wig_rows_matrix(graph: AllocGraph, wig_adjacency):
+    """:func:`_wig_rows` read straight off the packed interference rows.
+
+    One gather + bit-transpose replaces the per-neighbor Python encode
+    loop: the class sub-matrix is unpacked to bits, the WIG nodes'
+    columns gathered in dense-id order, and the result repacked into one
+    int row per node.  Valid only under :func:`_wig_rows_usable`.
+    """
+    np = matrix._numpy()
+    index = graph.source_index
+    ids = index.ids
+    nodes: list[VReg] = sorted(wig_adjacency, key=lambda v: v.id)
+    idx = {node: i for i, node in enumerate(nodes)}
+    gids = [ids[node] for node in nodes]
+    sub = graph.source_rows.matrix[gids]
+    bits = np.unpackbits(sub.view(np.uint8), axis=1, bitorder="little")
+    packed = np.packbits(bits[:, gids], axis=1, bitorder="little")
+    adj = [int.from_bytes(row.tobytes(), "little") for row in packed]
+    # Interference rows never cross classes, so masking with the global
+    # preg bits counts exactly this class's precolored neighbors.
+    preg_row = matrix.pack_masks([index.preg_mask], sub.shape[1])[0]
+    preg_deg = matrix.popcount_rows(sub & preg_row).tolist()
+    return nodes, idx, adj, preg_deg
+
+
+def _build_cpg_int(
+    graph: AllocGraph,
+    wig_adjacency: dict[VReg, set[VReg]],
+    simplification: SimplifyResult,
+) -> ColoringPrecedenceGraph:
+    """The int-bitmask replay: one int row per node, scalar closure.
+
+    The step-7 transitivity test is a single ``&`` against an
+    incrementally-maintained reachability closure.  The closure stays
+    exact because a node's out-edges are complete before any in-edge is
+    added to it — in-edges to ``X`` appear only at ``X``'s own pop, after
+    which ``X`` (removed from the WIG) never gains another successor.
+    """
+    from repro.analysis.indexing import iter_bits
+
+    k = graph.k
+    nodes, idx, adj, preg_deg = _wig_rows(graph, wig_adjacency)
+    n = len(nodes)
+    bottom_bit = 1 << n
 
     cpg = ColoringPrecedenceGraph()
     cpg.ensure(TOP)
@@ -229,44 +329,224 @@ def build_cpg(
             created |= 1 << i
 
     # Steps 5-9: replay removals in simplification order.
-    for popped in simplification.stack:
-        pi = idx.get(popped)
-        if pi is None or not (alive >> pi) & 1:
-            raise AllocationError(f"stack node {popped} missing from WIG")
-        if not (created >> pi) & 1:
-            raise AllocationError(
-                f"CPG invariant broken: {popped} popped before being "
-                f"created (neither low-degree, optimistic, nor a neighbor "
-                f"of an earlier pop)"
-            )
-        popped_bit = 1 << pi
-        alive &= ~popped_bit
-        neighbors = adj[pi] & alive
-        created |= neighbors
-        for wi in iter_bits(neighbors):
-            cpg.ensure(nodes[wi])
+    with phase("closure"):
+        for popped in simplification.stack:
+            pi = idx.get(popped)
+            if pi is None or not (alive >> pi) & 1:
+                raise AllocationError(
+                    f"stack node {popped} missing from WIG"
+                )
+            if not (created >> pi) & 1:
+                raise AllocationError(
+                    f"CPG invariant broken: {popped} popped before being "
+                    f"created (neither low-degree, optimistic, nor a "
+                    f"neighbor of an earlier pop)"
+                )
+            popped_bit = 1 << pi
+            alive &= ~popped_bit
+            neighbors = adj[pi] & alive
+            created |= neighbors
+            for wi in iter_bits(neighbors):
+                cpg.ensure(nodes[wi])
 
-        non_ready = neighbors & ~ready
-        if non_ready:
-            popped_reach = reach[pi] | popped_bit
-            popped_to_bottom = reach[pi] & bottom_bit
-            # Bit order is ascending vreg id — the step-7 edge order.
+            non_ready = neighbors & ~ready
+            if non_ready:
+                popped_reach = reach[pi] | popped_bit
+                popped_to_bottom = reach[pi] & bottom_bit
+                # Bit order is ascending vreg id — the step-7 edge order.
+                for wi in iter_bits(non_ready):
+                    # Step 7: skip (and never create) transitive edges.
+                    if not reach[wi] & popped_bit:
+                        w = nodes[wi]
+                        cpg.add_edge(w, popped)
+                        reach[wi] |= popped_reach
+                        # A pre-existing w -> bottom edge is now
+                        # transitive whenever `popped` itself reaches
+                        # bottom.
+                        if popped_to_bottom and BOTTOM in cpg.succs.get(
+                            w, ()
+                        ):
+                            cpg.remove_edge(w, BOTTOM)
+            else:
+                cpg.add_edge(TOP, popped)
+
+            # Step 8: removal may have made neighbors low-degree.
             for wi in iter_bits(non_ready):
-                # Step 7: skip (and never create) transitive edges.
-                if not reach[wi] & popped_bit:
+                if (adj[wi] & alive).bit_count() + preg_deg[wi] < k:
+                    ready |= 1 << wi
+
+    return cpg
+
+
+def _build_cpg_matrix(
+    graph: AllocGraph,
+    wig_adjacency: dict[VReg, set[VReg]],
+    simplification: SimplifyResult,
+) -> ColoringPrecedenceGraph:
+    """The matrix-backend replay: batched popcounts, row-OR closure.
+
+    Produces a CPG identical to :func:`_build_cpg_int` down to dict
+    insertion order and the edge version counter.  Structural work is
+    deduplicated with a created-node bitmask (the int replay re-ensures
+    every neighbor at every pop) and edges go in with direct set
+    operations, with the version counter settled once at the end.  At
+    :data:`MATRIX_MIN_NODES` and above, reachability rows live in one
+    numpy ``uint64`` matrix: the step-7 transitivity tests of a pop
+    become one gathered column read, the closure update one batched
+    row-OR (``R[sel] |= R[pi]``), and the step-4/step-8 degree counts
+    batched popcounts; below the threshold the same loop keeps scalar
+    int rows, where small-mask numpy call overhead would dominate.
+    """
+    k = graph.k
+    if _wig_rows_usable(graph, wig_adjacency):
+        nodes, idx, adj, preg_deg = _wig_rows_matrix(graph, wig_adjacency)
+    else:
+        nodes, idx, adj, preg_deg = _wig_rows(graph, wig_adjacency)
+    n = len(nodes)
+    bottom_bit = 1 << n
+
+    cpg = ColoringPrecedenceGraph()
+    cpg.ensure(TOP)
+    cpg.ensure(BOTTOM)
+    succs = cpg.succs
+    preds = cpg.preds
+    top_succs = succs[TOP]
+    bottom_preds = preds[BOTTOM]
+
+    alive = (1 << n) - 1
+    ready = 0
+    created = 0
+    #: nodes whose step-4 edge to bottom is still present
+    has_bottom = 0
+    edge_ops = 0
+    optimistic = simplification.optimistic
+
+    use_np = n >= MATRIX_MIN_NODES and matrix.have_numpy()
+    if use_np:
+        np = matrix._numpy()
+        words = matrix.words_for(n + 1)
+        adj_m = matrix.pack_masks(adj, words)
+        pd = np.asarray(preg_deg, dtype=np.int64)
+        low0 = matrix.popcount_rows(adj_m) + pd < k
+        reach_m = np.zeros((n, words), dtype=np.uint64)
+        alive_row = matrix.pack_masks([alive], words)[0]
+        bword, bbit = divmod(n, 64)
+        bottom_bit64 = np.uint64(1 << bbit)
+        word_mask = (1 << 64) - 1
+    else:
+        reach = [0] * n
+
+    # Step 4: initial low-degree nodes point at bottom and are ready;
+    # potential-spill nodes point at bottom but are not ready.
+    for i, node in enumerate(nodes):
+        low = (bool(low0[i]) if use_np
+               else adj[i].bit_count() + preg_deg[i] < k)
+        if low or node in optimistic:
+            succs[node] = {BOTTOM}
+            preds[node] = set()
+            bottom_preds.add(node)
+            edge_ops += 1
+            created |= 1 << i
+            has_bottom |= 1 << i
+            if low:
+                ready |= 1 << i
+            if use_np:
+                reach_m[i, bword] = bottom_bit64
+            else:
+                reach[i] |= bottom_bit
+
+    # Steps 5-9: replay removals in simplification order.
+    with phase("closure"):
+        for popped in simplification.stack:
+            pi = idx.get(popped)
+            if pi is None or not (alive >> pi) & 1:
+                raise AllocationError(
+                    f"stack node {popped} missing from WIG"
+                )
+            if not (created >> pi) & 1:
+                raise AllocationError(
+                    f"CPG invariant broken: {popped} popped before being "
+                    f"created (neither low-degree, optimistic, nor a "
+                    f"neighbor of an earlier pop)"
+                )
+            popped_bit = 1 << pi
+            alive &= ~popped_bit
+            if use_np:
+                wp, bp = divmod(pi, 64)
+                alive_row[wp] &= np.uint64(~(1 << bp) & word_mask)
+            neighbors = adj[pi] & alive
+            # Ensure only genuinely new nodes (ensured == created: every
+            # ensured node was created at the same step), ascending.
+            rest = neighbors & ~created
+            while rest:
+                low = rest & -rest
+                rest ^= low
+                w = nodes[low.bit_length() - 1]
+                succs[w] = set()
+                preds[w] = set()
+            created |= neighbors
+
+            non_ready = neighbors & ~ready
+            if not non_ready:
+                top_succs.add(popped)
+                preds[popped].add(TOP)
+                edge_ops += 1
+                continue
+            preds_popped = preds[popped]
+            if use_np:
+                pending = []
+                rest = non_ready
+                while rest:
+                    low = rest & -rest
+                    rest ^= low
+                    pending.append(low.bit_length() - 1)
+                wis = np.asarray(pending, dtype=np.intp)
+                pbit64 = np.uint64(1 << bp)
+                # Step 7 transitivity tests, one gathered column read.
+                sel = wis[(reach_m[wis, wp] & pbit64) == 0]
+                popped_to_bottom = bool(reach_m[pi, bword] & bottom_bit64)
+                for wi in sel:
+                    wi = int(wi)
                     w = nodes[wi]
-                    cpg.add_edge(w, popped)
-                    reach[wi] |= popped_reach
-                    # A pre-existing w -> bottom edge is now transitive
-                    # whenever `popped` itself reaches bottom.
-                    if popped_to_bottom and BOTTOM in cpg.succs.get(w, ()):
-                        cpg.remove_edge(w, BOTTOM)
-        else:
-            cpg.add_edge(TOP, popped)
+                    succs[w].add(popped)
+                    preds_popped.add(w)
+                    edge_ops += 1
+                    if popped_to_bottom and (has_bottom >> wi) & 1:
+                        succs[w].discard(BOTTOM)
+                        bottom_preds.discard(w)
+                        has_bottom &= ~(1 << wi)
+                        edge_ops += 1
+                if sel.size:
+                    reach_m[sel] |= reach_m[pi]
+                    reach_m[sel, wp] |= pbit64
+                # Step 8: batched recount of the touched neighbors.
+                low_now = (
+                    matrix.popcount_rows(adj_m[wis] & alive_row) + pd[wis]
+                    < k
+                )
+                for wi in wis[low_now]:
+                    ready |= 1 << int(wi)
+            else:
+                popped_reach = reach[pi] | popped_bit
+                popped_to_bottom = reach[pi] & bottom_bit
+                rest = non_ready
+                while rest:
+                    low = rest & -rest
+                    rest ^= low
+                    wi = low.bit_length() - 1
+                    if not reach[wi] & popped_bit:
+                        w = nodes[wi]
+                        succs[w].add(popped)
+                        preds_popped.add(w)
+                        edge_ops += 1
+                        reach[wi] |= popped_reach
+                        if popped_to_bottom and has_bottom & low:
+                            succs[w].discard(BOTTOM)
+                            bottom_preds.discard(w)
+                            has_bottom &= ~low
+                            edge_ops += 1
+                    if (adj[wi] & alive).bit_count() + preg_deg[wi] < k:
+                        ready |= low
 
-        # Step 8: removal may have made neighbors low-degree.
-        for wi in iter_bits(non_ready):
-            if (adj[wi] & alive).bit_count() + preg_deg[wi] < k:
-                ready |= 1 << wi
-
+    cpg._version = edge_ops
     return cpg

@@ -75,6 +75,23 @@ _CRASH_EXIT = 71
 #: The allocation task; resolved inside the worker on first use.
 DEFAULT_TASK = "repro.exec.alloctask:run_alloc_job"
 
+#: Result-neutral strategy knobs snapshotted from the parent at spawn
+#: time and applied in the worker before any job runs, so a pool behaves
+#: like the parent process regardless of multiprocessing start method.
+#: All of these only pick *how* results are computed, never *what* —
+#: a worker spawned before the parent changed one simply keeps the old
+#: strategy until it is respawned, which cannot change any result.
+STRATEGY_ENV_VARS = ("REPRO_DATAFLOW", "REPRO_NO_NUMPY",
+                     "REPRO_SELECT_INDEX")
+
+
+def _strategy_env_snapshot() -> dict[str, str]:
+    return {
+        name: os.environ[name]
+        for name in STRATEGY_ENV_VARS
+        if name in os.environ
+    }
+
 
 class WorkerPoolError(ReproError):
     """Base class for worker-pool failures."""
@@ -103,13 +120,16 @@ def resolve_task(spec):
 
 
 def _worker_main(slot: int, inbox, outbox, beats, task_spec,
-                 fault_plan: FaultPlan | None, heartbeat_s: float) -> None:
+                 fault_plan: FaultPlan | None, heartbeat_s: float,
+                 strategy_env: dict[str, str] | None = None) -> None:
     """Worker loop: heartbeat, pull a job, run it, push the result.
 
     Messages are pre-pickled here so a value the task produced that
     cannot cross the process boundary turns into an ``err`` message
     instead of silently wedging the queue's feeder thread.
     """
+    if strategy_env:
+        os.environ.update(strategy_env)
     task = resolve_task(task_spec)
     beats[slot] = time.time()
     while True:
@@ -276,7 +296,8 @@ class WorkerPool:
         slot.process = self._ctx.Process(
             target=_worker_main,
             args=(slot.index, slot.inbox, slot.outbox, self._beats,
-                  self.task, self.fault_plan, self.heartbeat_s),
+                  self.task, self.fault_plan, self.heartbeat_s,
+                  _strategy_env_snapshot()),
             name=f"repro-worker-{slot.index}",
             daemon=True,
         )

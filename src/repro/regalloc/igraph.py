@@ -56,6 +56,18 @@ class AllocGraph:
     #: low-degree crossings and spill-metric refreshes are event-driven
     #: instead of rescans (see ``repro.regalloc.worklist``).
     degree_listener: object | None = field(default=None, repr=False)
+    #: when built from a bitmask-form interference graph, the packed
+    #: uint64 rows and dense index it was projected from.  Consumers
+    #: (the CPG replay) may read adjacency straight from these rows as
+    #: long as ``adj_pristine`` still holds.
+    source_rows: object | None = field(default=None, repr=False)
+    source_index: object | None = field(default=None, repr=False)
+    #: vreg count at build time (``adj`` rows match ``source_rows`` only
+    #: while no edge has been added or node coalesced since then; plain
+    #: simplification removals never rewrite ``adj`` so they keep this
+    #: True)
+    adj_pristine: bool = True
+    initial_vregs: int = 0
 
     # ------------------------------------------------------------------
     # aliases
@@ -120,6 +132,7 @@ class AllocGraph:
             return
         if b in self.adj.setdefault(a, set()):
             return
+        self.adj_pristine = False
         self.adj[a].add(b)
         self.adj.setdefault(b, set()).add(a)
         if isinstance(a, VReg) and a in self.active and (
@@ -159,6 +172,7 @@ class AllocGraph:
             raise AllocationError(f"merging inactive node {gone}")
         if isinstance(kept, VReg) and kept not in self.active:
             raise AllocationError(f"merging into inactive node {kept}")
+        self.adj_pristine = False
         self.alias[gone] = kept
         mem = self.members.setdefault(kept, {kept})
         mem |= self.members_of(gone)
@@ -242,6 +256,9 @@ def build_alloc_graph(
     # function-wide adjacency dict never needs to exist.
     class_nodes = ig.nodes_by_class().get(rclass, [])
     from_rows = ig.rows is not None and not ig.materialized
+    if from_rows:
+        graph.source_rows = ig.rows
+        graph.source_index = ig.index
     for node in class_nodes:
         row = ig.row_set(node) if from_rows else set(ig.neighbors(node))
         graph.adj[node] = row
@@ -249,6 +266,7 @@ def build_alloc_graph(
             graph.active.add(node)
             graph.members[node] = {node}
             graph._degree[node] = len(row)
+    graph.initial_vregs = len(graph.active)
     for preg in regfile.regs:
         graph.adj.setdefault(preg, set())
     for mv in ig.moves:

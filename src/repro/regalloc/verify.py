@@ -30,6 +30,7 @@ from repro.errors import AllocationVerifyError
 from repro.ir.function import Function
 from repro.ir.instructions import SpillLoad, SpillStore
 from repro.ir.values import PReg, VReg
+from repro.profiling import phase
 from repro.target.machine import TargetMachine
 
 __all__ = ["verify_allocation", "verify_assignment_against_interference"]
@@ -75,8 +76,9 @@ def verify_assignment_against_interference(
     registers, and a virtual register interfering with a physical one
     must avoid it.  Call on the function *before* the final rewrite.
     """
-    ig = build_interference(func, None, compute_liveness(func,
-                                                         build_cfg(func)))
+    with phase("verify"):
+        ig = build_interference(func, None,
+                                compute_liveness(func, build_cfg(func)))
     for node in ig.vregs():
         color = assignment.get(node)
         if color is None:

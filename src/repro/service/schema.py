@@ -26,6 +26,7 @@ __all__ = [
     "comparison_payload",
     "stats_payload",
     "final_stats_payload",
+    "dataflow_backend_fields",
 ]
 
 #: Bumped whenever any emitted document shape changes incompatibly.
@@ -40,6 +41,23 @@ SCHEMA_TYPES = ("allocation", "comparison", "stats", "final_stats")
 def _tagged(payload: dict) -> dict:
     payload["schema"] = SCHEMA_VERSION
     return payload
+
+
+def dataflow_backend_fields() -> dict:
+    """The dataflow-backend stamp benchmark reports carry.
+
+    ``backend`` is what the kernels compute with (``validate`` mode
+    computes with — and returns — the numpy results, so it stamps
+    ``numpy``); ``numpy_version`` is ``None`` when numpy is absent.
+    Perf trajectories are only comparable within one backend, so the
+    regression gates refuse to compare reports whose backends differ.
+    """
+    from repro.analysis.matrix import active_backend, numpy_version
+
+    return {
+        "backend": active_backend(),
+        "numpy_version": numpy_version(),
+    }
 
 
 def allocation_payload(response: AllocationResponse) -> dict:

@@ -39,6 +39,7 @@ from repro.ir.instructions import (
     SpillStore,
 )
 from repro.ir.values import PReg
+from repro.profiling import phase
 from repro.target.machine import TargetMachine
 
 __all__ = ["CycleReport", "estimate_cycles", "CALL_OVERHEAD"]
@@ -107,10 +108,13 @@ class CycleReport:
 def estimate_cycles(func: Function, machine: TargetMachine) -> CycleReport:
     """Evaluate fully-allocated ``func`` under the appendix cost model."""
     report = CycleReport()
-    cfg = build_cfg(func)
-    loops = compute_loops(cfg)
-    liveness = compute_liveness(func, cfg)
-    after = instruction_liveness(func, liveness)
+    # Named parent phase: the liveness recomputation on the allocated
+    # code nests its sub-phases here instead of leaking to the root.
+    with phase("cycles"):
+        cfg = build_cfg(func)
+        loops = compute_loops(cfg)
+        liveness = compute_liveness(func, cfg)
+        after = instruction_liveness(func, liveness)
 
     # Fused paired loads: the adjacency check runs on physical registers.
     fused_second_loads: set[int] = set()

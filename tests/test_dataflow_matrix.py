@@ -1,0 +1,358 @@
+"""The numpy bit-matrix dataflow backend vs the retained int oracles.
+
+``REPRO_DATAFLOW`` selects the engine behind liveness, interference and
+the CPG replay (:mod:`repro.analysis.matrix`); the int-mask kernels are
+kept as reference oracles.  These tests pin the two backends together
+mask-for-mask on random programs (fresh analyses and SpillDelta-patched
+spill rounds), force the genuinely vectorized branches that small
+functions normally stay below, prove validate mode detects an injected
+divergence in each of the three kernels, and check the whole-allocation
+decision sequence is backend-independent.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis import matrix
+from repro.analysis.interference import build_interference
+from repro.analysis.liveness import compute_liveness
+from repro.cfg.analysis import build_cfg
+from repro.core import PreferenceDirectedAllocator
+from repro.core import cpg as cpg_mod
+from repro.errors import AllocationError
+from repro.ir.clone import clone_function
+from repro.pipeline import prepare_function
+from repro.regalloc import ChaitinAllocator, allocate_function
+from repro.regalloc.igraph import build_alloc_graph
+from repro.sim.cycles import estimate_cycles
+from repro.target.presets import make_machine
+from repro.workloads.generator import generate_function
+from repro.workloads.profiles import BenchmarkProfile
+
+SLOW = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+profiles = st.builds(
+    BenchmarkProfile,
+    name=st.just("matrix"),
+    stmts=st.integers(4, 16),
+    int_pool=st.integers(3, 8),
+    float_pool=st.integers(0, 3),
+    call_prob=st.floats(0.0, 0.3),
+    branch_prob=st.floats(0.0, 0.3),
+    loop_prob=st.floats(0.0, 0.25),
+    max_loop_depth=st.integers(1, 2),
+    copy_prob=st.floats(0.0, 0.3),
+    load_prob=st.floats(0.0, 0.3),
+    store_prob=st.floats(0.0, 0.15),
+    max_params=st.integers(1, 2),
+    max_call_args=st.integers(1, 2),
+)
+
+needs_numpy = pytest.mark.skipif(
+    not matrix.have_numpy(), reason="numpy not available"
+)
+
+
+@contextmanager
+def dataflow(mode: str):
+    prior = os.environ.get("REPRO_DATAFLOW")
+    os.environ["REPRO_DATAFLOW"] = mode
+    try:
+        yield
+    finally:
+        if prior is None:
+            os.environ.pop("REPRO_DATAFLOW", None)
+        else:
+            os.environ["REPRO_DATAFLOW"] = prior
+
+
+@contextmanager
+def forced_matrix_branches():
+    """Drop both size thresholds so the vectorized paths always engage."""
+    cells, nodes = matrix.MATRIX_MIN_CELLS, cpg_mod.MATRIX_MIN_NODES
+    matrix.MATRIX_MIN_CELLS = 0
+    cpg_mod.MATRIX_MIN_NODES = 0
+    try:
+        yield
+    finally:
+        matrix.MATRIX_MIN_CELLS = cells
+        cpg_mod.MATRIX_MIN_NODES = nodes
+
+
+def _prepared(profile, seed, k=8):
+    machine = make_machine(k)
+    func = prepare_function(generate_function("matrix", profile, seed),
+                            machine)
+    return func, machine
+
+
+def _liveness_pair(func):
+    cfg = build_cfg(func)
+    with dataflow("numpy"):
+        fast = compute_liveness(func, cfg)
+    with dataflow("int"):
+        ref = compute_liveness(func, cfg)
+    return fast, ref
+
+
+def _assert_liveness_equal(fast, ref):
+    assert fast.index.regs == ref.index.regs
+    for name in ("live_in_mask", "live_out_mask", "use_mask", "defs_mask"):
+        assert getattr(fast, name) == getattr(ref, name), name
+    # Set materialization (lazy on the numpy side) decodes to the same
+    # dicts in the same insertion order — downstream iteration order is
+    # observable.
+    for name in ("live_in", "live_out", "use", "defs"):
+        got, want = getattr(fast, name), getattr(ref, name)
+        assert list(got) == list(want), name
+        assert got == want, name
+
+
+@needs_numpy
+class TestLivenessBackends:
+    @SLOW
+    @given(profile=profiles, seed=st.integers(0, 10_000))
+    def test_masks_and_lazy_sets_match_int(self, profile, seed):
+        func, _ = _prepared(profile, seed)
+        fast, ref = _liveness_pair(func)
+        _assert_liveness_equal(fast, ref)
+
+    @SLOW
+    @given(profile=profiles, seed=st.integers(0, 10_000))
+    def test_forced_matrix_sweeps_match_int(self, profile, seed):
+        # Below MATRIX_MIN_CELLS the numpy backend normally keeps the
+        # int worklist schedule; force the row-sweep branch so it is the
+        # thing being compared.
+        func, _ = _prepared(profile, seed)
+        with forced_matrix_branches():
+            fast, ref = _liveness_pair(func)
+        _assert_liveness_equal(fast, ref)
+
+
+@needs_numpy
+class TestInterferenceBackends:
+    @SLOW
+    @given(profile=profiles, seed=st.integers(0, 10_000))
+    def test_rows_moves_and_block_rows_match_int(self, profile, seed):
+        func, _ = _prepared(profile, seed)
+        with dataflow("numpy"):
+            fast = build_interference(func, collect_block_rows=True)
+        with dataflow("int"):
+            ref = build_interference(func, collect_block_rows=True)
+        assert [(m.dst, m.src) for m in fast.moves] \
+            == [(m.dst, m.src) for m in ref.moves]
+        assert fast.block_rows == ref.block_rows
+        # row_set (batch-decoded off the matrix) against the int rows.
+        for node in ref.index.regs:
+            assert fast.row_set(node) == ref.row_set(node), node
+        # Lazy materialization produces the same adjacency dict, same
+        # node insertion order.
+        assert list(fast.adjacency) == list(ref.adjacency)
+        assert fast.adjacency == ref.adjacency
+
+
+@needs_numpy
+class TestCPGBackends:
+    def _graph_inputs(self, func, machine):
+        from repro.regalloc.simplify import simplify
+
+        with dataflow("numpy"):
+            ig = build_interference(func)
+        rclasses = {v.rclass for v in ig.vregs()}
+        out = []
+        for rclass in rclasses:
+            graph = build_alloc_graph(ig, machine, rclass)
+            wig = graph.snapshot_active_adjacency()
+            simp = simplify(graph, optimistic=True)
+            out.append((graph, wig, simp))
+        return out
+
+    def test_wig_rows_fast_path_matches_dict_encode(self):
+        profile = BenchmarkProfile(name="matrix", stmts=20, int_pool=8,
+                                   float_pool=2, max_params=2,
+                                   max_call_args=2)
+        checked = 0
+        for seed in range(8):
+            func, machine = _prepared(profile, seed)
+            for graph, wig, _ in self._graph_inputs(func, machine):
+                if not cpg_mod._wig_rows_usable(graph, wig):
+                    continue
+                checked += 1
+                assert cpg_mod._wig_rows_matrix(graph, wig) \
+                    == cpg_mod._wig_rows(graph, wig)
+        assert checked, "fast path never engaged"
+
+    def test_adjacency_mutation_disables_fast_path(self):
+        profile = BenchmarkProfile(name="matrix", stmts=20, int_pool=8,
+                                   max_params=2, max_call_args=2)
+        func, machine = _prepared(profile, 1)
+        (graph, wig, _), *_ = self._graph_inputs(func, machine)
+        assert cpg_mod._wig_rows_usable(graph, wig)
+        nodes = sorted(wig, key=lambda v: v.id)
+        pair = [(a, b) for a in nodes for b in nodes
+                if a is not b and b not in graph.adj[a]]
+        if not pair:
+            pytest.skip("complete graph; nothing to add")
+        graph.add_edge(*pair[0])
+        assert not cpg_mod._wig_rows_usable(graph, wig)
+
+    def test_forced_matrix_closure_matches_int(self):
+        profile = BenchmarkProfile(name="matrix", stmts=24, int_pool=8,
+                                   branch_prob=0.2, loop_prob=0.2,
+                                   max_params=2, max_call_args=2)
+        for seed in range(6):
+            func, machine = _prepared(profile, seed)
+            for graph, wig, simp in self._graph_inputs(func, machine):
+                with forced_matrix_branches():
+                    got = cpg_mod._build_cpg_matrix(graph, wig, simp)
+                want = cpg_mod._build_cpg_int(graph, wig, simp)
+                assert not cpg_mod._compare_cpgs(got, want)
+
+
+@needs_numpy
+class TestValidateDetectsDivergence:
+    """validate mode raises on the first injected backend divergence."""
+
+    def _func(self):
+        profile = BenchmarkProfile(name="matrix", stmts=12, int_pool=6,
+                                   max_params=2, max_call_args=2)
+        return _prepared(profile, 3)
+
+    def test_corrupted_liveness_mask(self, monkeypatch):
+        func, _ = self._func()
+        real = matrix.solve_liveness
+
+        def corrupted(pack, cfg):
+            live_in, live_out = real(pack, cfg)
+            label = next(iter(live_out))
+            live_out[label] ^= 1  # flip one register's liveness
+            return live_in, live_out
+
+        monkeypatch.setattr(matrix, "solve_liveness", corrupted)
+        with dataflow("validate"):
+            with pytest.raises(AllocationError, match="liveness"):
+                compute_liveness(func)
+
+    def test_corrupted_interference_matrix(self, monkeypatch):
+        func, _ = self._func()
+        real = matrix.symmetrize_matrix
+
+        def corrupted(m, n_bits):
+            sym = real(m, n_bits)
+            if sym.shape[0]:
+                sym[0, 0] ^= matrix._numpy().uint64(1)
+            return sym
+
+        monkeypatch.setattr(matrix, "symmetrize_matrix", corrupted)
+        with dataflow("validate"):
+            with pytest.raises(AllocationError, match="interference"):
+                build_interference(func)
+
+    def test_corrupted_cpg_reachability(self, monkeypatch):
+        func, machine = self._func()
+        real = cpg_mod._wig_rows_matrix
+
+        def corrupted(graph, wig):
+            nodes, idx, adj, preg_deg = real(graph, wig)
+            # Claim every node interferes with nothing: the replay then
+            # wires the CPG edges differently.  (Zeroing a single row is
+            # not enough — that node may happen to have no neighbors.)
+            assert any(adj), "test function's WIG has no edges"
+            return nodes, idx, [0] * len(adj), preg_deg
+
+        monkeypatch.setattr(cpg_mod, "_wig_rows_matrix", corrupted)
+        with dataflow("validate"):
+            with pytest.raises(AllocationError, match="CPG"):
+                allocate_function(func, machine,
+                                  PreferenceDirectedAllocator())
+
+
+@needs_numpy
+class TestAllocationIdentity:
+    def _fingerprint(self, func, machine, allocator_factory):
+        alloc = allocator_factory()
+        result = allocate_function(clone_function(func), machine, alloc)
+        return (
+            sorted((v.id, str(p)) for v, p in result.assignment.items()),
+            (result.stats.moves_eliminated, result.stats.spill_loads,
+             result.stats.spill_stores, result.stats.spilled_webs,
+             result.stats.rounds),
+            estimate_cycles(result.func, machine).total,
+        )
+
+    def test_single_round_identical_across_modes(self):
+        profile = BenchmarkProfile(name="matrix", stmts=18, int_pool=6,
+                                   float_pool=2, max_params=2,
+                                   max_call_args=2)
+        for seed in (0, 5):
+            func, machine = _prepared(profile, seed, k=16)
+            runs = {}
+            for mode in ("int", "numpy", "validate"):
+                with dataflow(mode):
+                    runs[mode] = self._fingerprint(
+                        func, machine, PreferenceDirectedAllocator
+                    )
+            assert runs["int"] == runs["numpy"] == runs["validate"]
+
+    def test_spill_rounds_identical_across_modes(self):
+        # k=4 forces multi-round allocations: the numpy backend's rows
+        # travel through SpillDelta translation/patching and must stay
+        # byte-identical to the int backend's.
+        profile = BenchmarkProfile(name="matrix", stmts=24, int_pool=10,
+                                   max_params=2, max_call_args=2)
+        saw_spill = False
+        for seed in (1, 4, 9):
+            func, machine = _prepared(profile, seed, k=4)
+            runs = {}
+            for mode in ("int", "numpy", "validate"):
+                with dataflow(mode):
+                    try:
+                        runs[mode] = self._fingerprint(
+                            func, machine, ChaitinAllocator
+                        )
+                    except AllocationError as err:
+                        if "pressure cannot be met" not in str(err):
+                            raise
+                        runs[mode] = ("pressure-error", str(err))
+            assert runs["int"] == runs["numpy"] == runs["validate"]
+            if isinstance(runs["int"], tuple) \
+                    and runs["int"][0] != "pressure-error" \
+                    and runs["int"][1][4] > 1:
+                saw_spill = True
+        assert saw_spill, "no workload actually spilled"
+
+
+class TestNumpyFallback:
+    def test_missing_numpy_warns_once_and_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+        monkeypatch.setenv("REPRO_DATAFLOW", "numpy")
+        monkeypatch.setattr(matrix, "_warned_missing", False)
+        assert not matrix.have_numpy()
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            assert matrix.dataflow_mode() == "int"
+        # Only the first resolution warns; the fallback itself sticks.
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            assert matrix.dataflow_mode() == "int"
+            assert matrix.active_backend() == "int"
+
+    def test_no_numpy_still_allocates(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+        monkeypatch.delenv("REPRO_DATAFLOW", raising=False)
+        profile = BenchmarkProfile(name="matrix", stmts=12, int_pool=6,
+                                   max_params=2, max_call_args=2)
+        func, machine = _prepared(profile, 2)
+        result = allocate_function(clone_function(func), machine,
+                                   PreferenceDirectedAllocator())
+        assert result.assignment

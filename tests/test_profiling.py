@@ -6,12 +6,14 @@ import io
 import time
 
 from repro.cli import main
+from repro.core import PreferenceDirectedAllocator
 from repro.ir.clone import clone_function
 from repro.pipeline import prepare_module
 from repro.profiling import merge_snapshots, phase, profiled
 from repro.regalloc import ChaitinAllocator
 from repro.regalloc.base import allocate_function
 from repro.service.metrics import ServiceMetrics
+from repro.sim.cycles import estimate_cycles
 from repro.target.presets import make_machine
 from repro.workloads.spillstress import spill_stress_function
 from repro.ir.function import Module
@@ -89,6 +91,57 @@ class TestPipelineWiring:
         assert "reanalyze" in snap
         # Sub-phases nest under their parent path.
         assert any(p.startswith("analyze/") for p in snap)
+
+    def test_dataflow_subphases_nest_under_parents(self):
+        machine = make_machine(8)
+        module = Module("m")
+        module.add(spill_stress_function(
+            "f", n_segments=6, hot_every=3, hot_pressure=12,
+            cold_pressure=2, cold_chain=4, trips=2,
+        ))
+        prepared = prepare_module(module, machine)
+        func = clone_function(prepared.functions[0])
+        with profiled() as prof:
+            result = allocate_function(
+                func, machine, PreferenceDirectedAllocator()
+            )
+        snap = prof.snapshot()
+        assert result.stats.rounds > 1
+        # The dataflow kernels' sub-phases sit under their analysis
+        # parents, in both the first round and the spill re-analysis.
+        for expected in (
+            "analyze/liveness/solve",
+            "analyze/interference/rows",
+            "color/CPG/closure",
+            "reanalyze/liveness/solve",
+            "reanalyze/interference/rows",
+        ):
+            assert expected in snap, f"missing phase {expected!r}"
+        # And never float to the root: a bare kernel name here means a
+        # caller ran an analysis without an enclosing phase, which would
+        # double-count it in the combined dataflow metric.
+        for orphan in ("solve", "rows", "closure",
+                       "liveness", "interference", "CPG"):
+            assert orphan not in snap, f"orphan root phase {orphan!r}"
+
+    def test_cycle_estimator_phases_nest(self):
+        # estimate_cycles re-runs liveness on allocated code; its solve
+        # sub-phase must nest under "cycles", not pollute the root.
+        machine = make_machine(8)
+        module = Module("m")
+        module.add(spill_stress_function(
+            "f", n_segments=4, hot_every=2, hot_pressure=10,
+            cold_pressure=2, cold_chain=3, trips=2,
+        ))
+        prepared = prepare_module(module, machine)
+        func = clone_function(prepared.functions[0])
+        allocate_function(func, machine, ChaitinAllocator())
+        with profiled() as prof:
+            estimate_cycles(func, machine)
+        snap = prof.snapshot()
+        assert "cycles" in snap
+        assert "cycles/solve" in snap
+        assert "solve" not in snap
 
     def test_cli_profile_prints_table(self, capsys):
         out = io.StringIO()
