@@ -1,0 +1,41 @@
+"""Multi-node topology: digest-sharded router over N service backends.
+
+``repro.cluster`` scales :mod:`repro.service` past one host: a router
+front end speaks the unchanged v2 LDJSON protocol, content-addresses
+every request with the cache's own fingerprint, and shards it across N
+backend servers — locally spawned subprocesses (supervised, respawned)
+or remote ``host:port`` backends.  A TCP cache-peer tier shares
+non-degraded results across shards, hedged retries cut tail latency by
+racing a quiet home shard against a fallback, and per-shard admission
+feeds global backpressure.  Clients cannot tell a cluster from a single
+server; non-degraded responses stay byte-identical to a direct
+:func:`repro.pipeline.allocate_module` run.
+"""
+
+from repro.cluster.cachepeer import (
+    CachePeerServer,
+    PeerCacheBackend,
+    parse_hostport,
+)
+from repro.cluster.health import ShardHandle, ShardHealth
+from repro.cluster.router import (
+    ClusterMetrics,
+    ClusterRouter,
+    ClusterServer,
+    ClusterServerThread,
+)
+from repro.cluster.shards import ClusterSupervisor, ShardProcess
+
+__all__ = [
+    "CachePeerServer",
+    "PeerCacheBackend",
+    "parse_hostport",
+    "ShardHandle",
+    "ShardHealth",
+    "ClusterMetrics",
+    "ClusterRouter",
+    "ClusterServer",
+    "ClusterServerThread",
+    "ClusterSupervisor",
+    "ShardProcess",
+]

@@ -1,0 +1,142 @@
+"""CLI glue for ``python -m repro cluster {serve,submit,stats}``.
+
+``cluster serve`` brings up the whole local topology in one command:
+the shared cache-peer tier, N supervised ``repro serve`` shard
+subprocesses wired to it, and the router front end.  ``cluster submit``
+and ``cluster stats`` are the plain ``submit``/``stats`` commands
+pointed at the router's default port — the router speaks the identical
+protocol, so :mod:`repro.cli` reuses its own implementations for them.
+"""
+
+from __future__ import annotations
+
+import signal
+import sys
+
+from repro.reporting import canonical_json
+from repro.service.cache import default_cache_dir
+from repro.service.schema import cluster_stats_payload
+
+__all__ = ["DEFAULT_CLUSTER_PORT", "add_cluster_parser",
+           "cmd_cluster_serve"]
+
+#: The router's default TCP port (the single-server default is 7421).
+DEFAULT_CLUSTER_PORT = 7480
+
+
+def add_cluster_parser(sub, allocator_choices, benchmark_names) -> None:
+    """Attach the ``cluster`` subcommand tree to the main parser."""
+    cluster = sub.add_parser(
+        "cluster", help="run or talk to the sharded multi-node service")
+    csub = cluster.add_subparsers(dest="cluster_command", required=True)
+
+    serve = csub.add_parser(
+        "serve", help="run the router + N local shard servers")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=DEFAULT_CLUSTER_PORT,
+                       help="router TCP port (0 picks a free one; "
+                            f"default {DEFAULT_CLUSTER_PORT})")
+    serve.add_argument("--shards", type=int, default=3,
+                       help="local shard server processes (default 3)")
+    serve.add_argument("--backends", nargs="*", default=None,
+                       metavar="HOST:PORT",
+                       help="address existing shard servers instead of "
+                            "spawning local ones")
+    serve.add_argument("--jobs", type=int, default=1,
+                       help="worker-pool width inside each shard")
+    serve.add_argument("--max-queue", type=int, default=64,
+                       help="per-shard admission-control queue bound")
+    serve.add_argument("--cache-size", type=int, default=64,
+                       help="per-shard in-memory L1 cache entries "
+                            "(the shared peer tier is the big one)")
+    serve.add_argument("--peer-cache-size", type=int, default=4096,
+                       help="shared cache-peer tier entries")
+    serve.add_argument("--cache-dir", default=None,
+                       help="disk layer behind the shared peer tier "
+                            "(default ~/.cache/repro or $REPRO_CACHE_DIR)")
+    serve.add_argument("--no-disk-cache", action="store_true",
+                       help="keep the shared tier in memory only")
+    serve.add_argument("--hedge-ms", type=float, default=250.0,
+                       help="hedge deadline per request in ms; 0 hedges "
+                            "immediately, negative disables hedging")
+    serve.add_argument("--saturation", type=int, default=8,
+                       help="per-shard in-flight soft watermark feeding "
+                            "backpressure")
+
+    submit = csub.add_parser(
+        "submit", help="send one request to a running cluster router")
+    source = submit.add_mutually_exclusive_group(required=True)
+    source.add_argument("--file", help="textual IR file ('-' for stdin)")
+    source.add_argument("--bench", choices=benchmark_names,
+                        help="a built-in benchmark name")
+    submit.add_argument("--allocator", choices=sorted(allocator_choices),
+                        default="full")
+    submit.add_argument("--regs", type=int, default=24)
+    submit.add_argument("--deadline", type=float, default=None,
+                        help="seconds before the cluster may degrade "
+                             "the allocator")
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, default=DEFAULT_CLUSTER_PORT)
+    submit.add_argument("--json", action="store_true",
+                        help="print the full response JSON")
+
+    stats = csub.add_parser(
+        "stats", help="fetch a running cluster's stats snapshot")
+    stats.add_argument("--host", default="127.0.0.1")
+    stats.add_argument("--port", type=int, default=DEFAULT_CLUSTER_PORT)
+
+
+def cmd_cluster_serve(args, out) -> int:
+    from repro.cluster.router import ClusterRouter, ClusterServerThread
+    from repro.cluster.shards import ClusterSupervisor
+    from repro.regalloc import AllocationOptions
+
+    disk_dir = None
+    if not args.no_disk_cache:
+        overrides = {"cache_dir": args.cache_dir} if args.cache_dir else {}
+        disk_dir = default_cache_dir(AllocationOptions.from_env(**overrides))
+    supervisor = ClusterSupervisor(
+        shards=args.shards,
+        jobs=args.jobs,
+        cache_size=args.cache_size,
+        max_queue=args.max_queue,
+        disk_dir=disk_dir,
+        peer_store_entries=args.peer_cache_size,
+        addresses=args.backends,
+    )
+    handles = supervisor.start()
+    hedge_s = None if args.hedge_ms < 0 else args.hedge_ms / 1000.0
+    router = ClusterRouter(handles, supervisor=supervisor,
+                           hedge_s=hedge_s, saturation=args.saturation)
+    thread = ClusterServerThread(router, args.host, args.port)
+    # Graceful shutdown on SIGTERM too: a backgrounded shell job has
+    # SIGINT set to SIG_IGN (POSIX), so supervisors and CI scripts stop
+    # the cluster with plain ``kill`` and still get the drain + final
+    # stats snapshot instead of an abrupt exit.
+    def _graceful(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _graceful)
+    except ValueError:  # not the main thread (embedded use): skip
+        pass
+    try:
+        host, port = thread.start()
+        print(f"repro cluster listening on {host}:{port} "
+              f"({len(handles)} shards)", file=out, flush=True)
+        try:
+            thread.join()
+        except KeyboardInterrupt:
+            pass
+    finally:
+        thread.stop()
+        final = cluster_stats_payload(
+            router=router.metrics.snapshot(),
+            shards=router.health.snapshot(),
+            supervisor=supervisor.snapshot(),
+        )
+        supervisor.stop()
+        print(canonical_json(final),
+              file=out if out is not sys.stdout else sys.stdout,
+              flush=True)
+    return 0

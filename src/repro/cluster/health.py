@@ -1,0 +1,200 @@
+"""Shard health, admission control, and digest routing order.
+
+One :class:`ShardHealth` instance lives inside the router's event loop
+(single-threaded mutation; snapshots may be read cross-thread — every
+field is a plain scalar swap).  It tracks three things per shard:
+
+* **liveness** — consecutive connection failures past ``max_failures``
+  mark a shard *down*; a down shard is skipped by the router until its
+  probe time arrives (exponential backoff, the worker-pool retry idiom),
+  after which exactly the next request is allowed through as a half-open
+  probe — success resets the shard to *up*, failure doubles the backoff;
+* **saturation** — an in-flight counter against ``saturation`` feeds
+  per-shard admission; when *every* available shard is saturated the
+  router degrades, and past ``hard_factor``x it rejects outright
+  (global backpressure — the cluster twin of the scheduler's bounded
+  queue);
+* **routing order** — ``route_order(digest)`` maps a request's content
+  digest to its home shard (``digest % n``) and then the ring of
+  fallbacks, filtered to shards worth trying.  Content addressing keeps
+  one request's repeats on one shard, which is what makes the shard's
+  local L1 cache effective.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["ShardHandle", "ShardHealth"]
+
+
+@dataclass
+class ShardHandle:
+    """Where one backend server lives; mutable so a supervisor can
+    re-point it at a respawned process."""
+
+    index: int
+    host: str
+    port: int
+
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+
+@dataclass
+class _ShardState:
+    up: bool = True
+    consecutive_failures: int = 0
+    downs: int = 0
+    probe_at: float = 0.0
+    backoff_s: float = 0.0
+    inflight: int = 0
+    forwarded: int = 0
+    failures: int = 0
+    last_error: str = ""
+    probing: bool = False
+
+
+class ShardHealth:
+    def __init__(self, shards: list[ShardHandle], saturation: int = 8,
+                 max_failures: int = 2, probe_backoff_s: float = 0.5,
+                 max_backoff_s: float = 10.0, hard_factor: int = 2):
+        if not shards:
+            raise ValueError("a cluster needs at least one shard")
+        if saturation < 1:
+            raise ValueError("saturation must be >= 1")
+        self.shards = shards
+        self.saturation = saturation
+        self.max_failures = max_failures
+        self.probe_backoff_s = probe_backoff_s
+        self.max_backoff_s = max_backoff_s
+        self.hard_limit = hard_factor * saturation
+        self._states = [_ShardState() for _ in shards]
+
+    # -- liveness ------------------------------------------------------
+
+    def record_success(self, index: int) -> None:
+        state = self._states[index]
+        state.forwarded += 1
+        state.consecutive_failures = 0
+        state.backoff_s = 0.0
+        state.probing = False
+        if not state.up:
+            state.up = True
+
+    def record_failure(self, index: int, error: str = "") -> None:
+        state = self._states[index]
+        state.failures += 1
+        state.consecutive_failures += 1
+        state.last_error = error
+        state.probing = False
+        if state.up and state.consecutive_failures >= self.max_failures:
+            state.up = False
+            state.downs += 1
+        if not state.up:
+            state.backoff_s = min(
+                self.probe_backoff_s * (2 ** (state.consecutive_failures
+                                              - self.max_failures)),
+                self.max_backoff_s,
+            )
+            state.probe_at = time.monotonic() + state.backoff_s
+
+    def mark_down(self, index: int, error: str = "") -> None:
+        """Force a shard down (supervisor saw its process die)."""
+        state = self._states[index]
+        if state.up:
+            state.downs += 1
+        state.up = False
+        state.last_error = error or state.last_error
+        state.consecutive_failures = max(state.consecutive_failures,
+                                         self.max_failures)
+        state.probe_at = time.monotonic() + self.probe_backoff_s
+
+    def mark_up(self, index: int) -> None:
+        """Force a shard up (supervisor just respawned its process)."""
+        state = self._states[index]
+        state.up = True
+        state.consecutive_failures = 0
+        state.backoff_s = 0.0
+        state.probing = False
+
+    def available(self, index: int) -> bool:
+        """Worth sending a request to: up, or down but due a probe."""
+        state = self._states[index]
+        if state.up:
+            return True
+        if state.probing:
+            return False  # one half-open probe at a time
+        return time.monotonic() >= state.probe_at
+
+    # -- admission -----------------------------------------------------
+
+    def begin(self, index: int) -> None:
+        state = self._states[index]
+        if not state.up:
+            state.probing = True
+        state.inflight += 1
+
+    def end(self, index: int) -> None:
+        self._states[index].inflight = max(
+            0, self._states[index].inflight - 1)
+
+    def saturated(self, index: int) -> bool:
+        return self._states[index].inflight >= self.saturation
+
+    def overloaded(self) -> bool:
+        """Every available shard is at or past the soft watermark."""
+        usable = [i for i in range(len(self.shards)) if self.available(i)]
+        return bool(usable) and all(self.saturated(i) for i in usable)
+
+    def rejecting(self) -> bool:
+        """Every available shard is past the hard limit (or none left)."""
+        usable = [i for i in range(len(self.shards)) if self.available(i)]
+        if not usable:
+            return True
+        return all(self._states[i].inflight >= self.hard_limit
+                   for i in usable)
+
+    # -- routing -------------------------------------------------------
+
+    def home_shard(self, digest: str) -> int:
+        return int(digest[:16], 16) % len(self.shards)
+
+    def route_order(self, digest: str) -> list[ShardHandle]:
+        """Home shard first, then the fallback ring, availability-filtered.
+
+        Saturated-but-up shards stay in the order (they answer, just
+        slowly — the router's overload handling decides what to do);
+        down shards appear only when due a half-open probe.
+        """
+        n = len(self.shards)
+        home = self.home_shard(digest)
+        order = []
+        for step in range(n):
+            index = (home + step) % n
+            if self.available(index):
+                order.append(self.shards[index])
+        return order
+
+    # -- introspection -------------------------------------------------
+
+    def snapshot(self) -> list[dict]:
+        now = time.monotonic()
+        out = []
+        for handle, state in zip(self.shards, self._states):
+            out.append({
+                "shard": handle.index,
+                "address": handle.address(),
+                "up": state.up,
+                "inflight": state.inflight,
+                "saturated": state.inflight >= self.saturation,
+                "forwarded": state.forwarded,
+                "failures": state.failures,
+                "consecutive_failures": state.consecutive_failures,
+                "downs": state.downs,
+                "probe_in_s": (round(max(0.0, state.probe_at - now), 3)
+                               if not state.up else None),
+                "last_error": state.last_error,
+            })
+        return out

@@ -1,0 +1,272 @@
+"""Shard supervisor: spawn, watch, and respawn backend server processes.
+
+A :class:`ShardProcess` is one ``python -m repro serve`` subprocess
+bound to an ephemeral port (the bound address is scraped from its
+startup line).  :class:`ClusterSupervisor` owns the full local topology:
+the shared :class:`~repro.cluster.cachepeer.CachePeerServer` (hosted on
+a thread in the router process — shards reach it over TCP, so the
+sharing is real cross-process traffic) plus N shard processes wired to
+it via ``serve --cache-peer``.
+
+Supervision follows the worker-pool idiom: a dead shard's seat is
+refilled (bounded by ``max_respawns`` across the cluster's lifetime)
+with a *new* process on a *new* port, and its :class:`ShardHandle` is
+re-pointed in place so the router picks up the new address on the next
+route.  Between death and respawn the router's health layer routes
+around the hole; a respawned shard starts with a cold local cache but a
+warm shared tier, so re-routed repeats still hit.
+
+``addresses=`` skips spawning entirely and supervises nothing — the
+handles just name remote ``host:port`` backends (multi-host topology).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+from repro.cluster.cachepeer import CachePeerServer, parse_hostport
+from repro.cluster.health import ShardHandle
+from repro.errors import ServiceError
+from repro.service.cache import DiskCacheBackend, ResultCache
+
+__all__ = ["ShardProcess", "ClusterSupervisor"]
+
+_LISTENING = re.compile(r"listening on ([\w\.\-]+):(\d+)")
+
+
+def _repro_pythonpath() -> str:
+    """A PYTHONPATH that lets a child ``python -m repro`` import us."""
+    import repro
+
+    src = str(Path(repro.__file__).resolve().parents[1])
+    existing = os.environ.get("PYTHONPATH", "")
+    if existing and src not in existing.split(os.pathsep):
+        return src + os.pathsep + existing
+    return existing or src
+
+
+class ShardProcess:
+    """One backend server subprocess and its scraped bound address."""
+
+    def __init__(self, index: int, jobs: int = 1, cache_size: int = 64,
+                 max_queue: int = 64, cache_peer: str | None = None,
+                 start_timeout_s: float = 20.0,
+                 extra_args: tuple = ()):
+        self.index = index
+        self.jobs = jobs
+        self.cache_size = cache_size
+        self.max_queue = max_queue
+        self.cache_peer = cache_peer
+        self.start_timeout_s = start_timeout_s
+        self.extra_args = tuple(extra_args)
+        self.process: subprocess.Popen | None = None
+        self.host = ""
+        self.port = 0
+
+    def start(self) -> tuple:
+        argv = [
+            sys.executable, "-m", "repro", "serve",
+            "--host", "127.0.0.1", "--port", "0",
+            "--jobs", str(self.jobs),
+            "--cache-size", str(self.cache_size),
+            "--max-queue", str(self.max_queue),
+            "--no-disk-cache",
+        ]
+        if self.cache_peer:
+            argv += ["--cache-peer", self.cache_peer]
+        argv += list(self.extra_args)
+        env = os.environ.copy()
+        env["PYTHONPATH"] = _repro_pythonpath()
+        self.process = subprocess.Popen(
+            argv, env=env, text=True,
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+        )
+        line = self._read_startup_line()
+        match = _LISTENING.search(line or "")
+        if match is None:
+            self.kill()
+            raise ServiceError(
+                f"shard {self.index} did not report a listening address "
+                f"within {self.start_timeout_s}s (got {line!r})"
+            )
+        self.host, self.port = match.group(1), int(match.group(2))
+        return self.host, self.port
+
+    def _read_startup_line(self) -> str | None:
+        holder: list = []
+
+        def read() -> None:
+            holder.append(self.process.stdout.readline())
+
+        reader = threading.Thread(target=read, daemon=True)
+        reader.start()
+        reader.join(timeout=self.start_timeout_s)
+        return holder[0] if holder else None
+
+    @property
+    def pid(self) -> int | None:
+        return self.process.pid if self.process else None
+
+    def alive(self) -> bool:
+        return self.process is not None and self.process.poll() is None
+
+    def kill(self) -> None:
+        """SIGKILL the process (the fault path; shutdown uses the wire)."""
+        if self.process is not None and self.process.poll() is None:
+            self.process.kill()
+            self.process.wait(timeout=5.0)
+
+    def terminate(self, grace_s: float = 3.0) -> None:
+        if self.process is None:
+            return
+        if self.process.poll() is None:
+            self.process.terminate()
+            try:
+                self.process.wait(timeout=grace_s)
+            except subprocess.TimeoutExpired:
+                self.kill()
+        if self.process.stdout is not None:
+            self.process.stdout.close()
+
+
+class ClusterSupervisor:
+    """The local cluster topology: cache peer + N supervised shards."""
+
+    def __init__(self, shards: int = 3, jobs: int = 1,
+                 cache_size: int = 64, max_queue: int = 64,
+                 disk_dir: Path | str | None = None,
+                 peer_store_entries: int = 4096,
+                 max_respawns: int = 8,
+                 addresses: list | None = None,
+                 start_timeout_s: float = 20.0):
+        if addresses is None and shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.jobs = jobs
+        self.cache_size = cache_size
+        self.max_queue = max_queue
+        self.max_respawns = max_respawns
+        self.start_timeout_s = start_timeout_s
+        self.respawns = 0
+        self._addresses = addresses
+        self._want = len(addresses) if addresses is not None else shards
+        backend = DiskCacheBackend(disk_dir) if disk_dir else None
+        self.peer = CachePeerServer(
+            store=ResultCache(max_entries=peer_store_entries,
+                              backend=backend))
+        self.processes: list[ShardProcess | None] = [None] * self._want
+        self.handles: list[ShardHandle] = []
+        self._started = False
+
+    @property
+    def local(self) -> bool:
+        return self._addresses is None
+
+    def start(self) -> list[ShardHandle]:
+        """Start the peer tier and every shard; returns the handles."""
+        if self._started:
+            return self.handles
+        peer_host, peer_port = self.peer.start()
+        peer_spec = f"{peer_host}:{peer_port}"
+        self.handles = []
+        try:
+            if self._addresses is not None:
+                for i, spec in enumerate(self._addresses):
+                    host, port = parse_hostport(spec)
+                    self.handles.append(ShardHandle(i, host, port))
+            else:
+                for i in range(self._want):
+                    shard = ShardProcess(
+                        i, jobs=self.jobs, cache_size=self.cache_size,
+                        max_queue=self.max_queue, cache_peer=peer_spec,
+                        start_timeout_s=self.start_timeout_s,
+                    )
+                    host, port = shard.start()
+                    self.processes[i] = shard
+                    self.handles.append(ShardHandle(i, host, port))
+        except Exception:
+            self.stop()
+            raise
+        self._started = True
+        return self.handles
+
+    # -- supervision ---------------------------------------------------
+
+    def reap_and_respawn(self) -> list:
+        """One supervision tick: find dead shards, refill their seats.
+
+        Returns ``(index, ok)`` pairs for every seat acted on, so the
+        router can flip the matching health entries (down on death, up
+        on successful respawn).
+        """
+        if not self.local or not self._started:
+            return []
+        acted = []
+        for i, shard in enumerate(self.processes):
+            if shard is None or shard.alive():
+                continue
+            if self.respawns >= self.max_respawns:
+                acted.append((i, False))
+                self.processes[i] = None
+                continue
+            self.respawns += 1
+            try:
+                replacement = ShardProcess(
+                    i, jobs=self.jobs, cache_size=self.cache_size,
+                    max_queue=self.max_queue,
+                    cache_peer=f"{self.peer.host}:{self.peer.port}",
+                    start_timeout_s=self.start_timeout_s,
+                )
+                host, port = replacement.start()
+            except Exception:
+                acted.append((i, False))
+                self.processes[i] = None
+                continue
+            self.processes[i] = replacement
+            self.handles[i].host = host
+            self.handles[i].port = port
+            acted.append((i, True))
+        return acted
+
+    def kill_shard(self, index: int) -> None:
+        """SIGKILL one shard (tests and the resilience drills)."""
+        shard = self.processes[index]
+        if shard is not None:
+            shard.kill()
+
+    def stop(self) -> None:
+        for shard in self.processes:
+            if shard is not None:
+                shard.terminate()
+        self.processes = [None] * self._want
+        self.peer.stop()
+        self._started = False
+
+    def __enter__(self) -> "ClusterSupervisor":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def snapshot(self) -> dict:
+        shards = []
+        for i, handle in enumerate(self.handles):
+            shard = self.processes[i] if i < len(self.processes) else None
+            shards.append({
+                "shard": i,
+                "address": handle.address(),
+                "pid": shard.pid if shard is not None else None,
+                "alive": shard.alive() if shard is not None else None,
+            })
+        return {
+            "local": self.local,
+            "shards": shards,
+            "respawns": self.respawns,
+            "max_respawns": self.max_respawns,
+            "cache_peer": self.peer.snapshot(),
+        }

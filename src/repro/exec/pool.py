@@ -285,9 +285,32 @@ class WorkerPool:
                    for s in self._slots):
                 break
             time.sleep(0.01)
+        detail = self._startup_failure_detail()
         self._teardown_locked()
         raise WorkerPoolUnavailable(
-            f"no worker became ready within {self.start_timeout_s}s")
+            f"no worker became ready within {self.start_timeout_s}s "
+            f"({detail})")
+
+    def _startup_failure_detail(self) -> str:
+        """Each slot's fate, gathered before teardown erases it.
+
+        The serial-fallback warning in :mod:`repro.pipeline` carries
+        this message verbatim, so "the pool didn't start" always names
+        *why*: a worker that died at import/resolve time reports its
+        exit code, one that hung reports the missing heartbeat.
+        """
+        states = []
+        for slot in self._slots:
+            proc = slot.process
+            if proc is None:
+                states.append(f"worker {slot.index} never spawned")
+            elif proc.is_alive():
+                states.append(f"worker {slot.index} alive but no "
+                              f"heartbeat")
+            else:
+                states.append(f"worker {slot.index} exited with code "
+                              f"{proc.exitcode}")
+        return "; ".join(states) if states else "no worker slots"
 
     def _spawn(self, slot: _Slot, count_respawn: bool = True) -> None:
         slot.inbox = self._ctx.Queue()

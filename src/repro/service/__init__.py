@@ -9,7 +9,12 @@ past-deadline instead of failing.  Non-degraded responses are
 byte-identical to a direct :func:`repro.pipeline.allocate_module` run.
 """
 
-from repro.service.cache import ResultCache, request_fingerprint
+from repro.service.cache import (
+    CacheBackend,
+    DiskCacheBackend,
+    ResultCache,
+    request_fingerprint,
+)
 from repro.service.client import ServiceClient
 from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import (
@@ -30,6 +35,8 @@ __all__ = [
     "AllocationRequest",
     "AllocationResponse",
     "MachineSpec",
+    "CacheBackend",
+    "DiskCacheBackend",
     "ResultCache",
     "request_fingerprint",
     "ServiceMetrics",

@@ -1,4 +1,4 @@
-"""Content-addressed allocation cache with LRU bounds and a disk layer.
+"""Content-addressed allocation cache with LRU bounds and pluggable tiers.
 
 The key of an entry is a fingerprint of *what determines the result*:
 the normalized IR text (parse -> print round-trip, so formatting and
@@ -9,16 +9,24 @@ request and an ``ir`` request carrying the same module text.
 
 Entries store the response with per-request metadata stripped
 (:meth:`AllocationResponse.for_cache`), so a hit can be re-addressed to
-any request id.  The in-memory layer is a bounded LRU; the optional disk
-layer under ``~/.cache/repro`` (override with ``$REPRO_CACHE_DIR`` or
-``disk_dir=``) persists entries across server restarts and is consulted
-only on a memory miss.  All disk I/O failures degrade to cache misses —
-the cache must never take the service down.
+any request id.  The in-memory layer is a bounded LRU; behind it sits an
+optional :class:`CacheBackend` — the second tier consulted only on a
+memory miss and written through on every store.  Two backends ship:
+
+* :class:`DiskCacheBackend` — the historical on-disk layer under
+  ``~/.cache/repro`` (override with ``$REPRO_CACHE_DIR`` or
+  ``disk_dir=``), persisting entries across server restarts;
+* :class:`repro.cluster.cachepeer.PeerCacheBackend` — a TCP client of a
+  shared cache-peer server, so the shards of a cluster share hits.
+
+All backend I/O failures degrade to cache misses — the cache must never
+take the service down.
 """
 
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 from collections import OrderedDict
 from dataclasses import replace
@@ -33,7 +41,13 @@ from repro.service.protocol import (
 )
 from repro.target.machine import TargetMachine
 
-__all__ = ["ResultCache", "request_fingerprint", "default_cache_dir"]
+__all__ = [
+    "ResultCache",
+    "CacheBackend",
+    "DiskCacheBackend",
+    "request_fingerprint",
+    "default_cache_dir",
+]
 
 
 def request_fingerprint(normalized_ir: str, machine: TargetMachine,
@@ -78,15 +92,102 @@ def default_cache_dir(options: AllocationOptions | None = None) -> Path:
     return Path("~/.cache/repro").expanduser()
 
 
+class CacheBackend:
+    """Second cache tier behind the in-memory LRU.
+
+    Implementations must be safe to call from the scheduler's worker
+    thread and must *never raise* out of ``get``/``put`` — a broken
+    backend is a cache miss, not a service outage.  Entries cross the
+    backend boundary as :class:`AllocationResponse` objects with
+    per-request metadata already stripped.
+    """
+
+    name = "none"
+
+    def get(self, key: str) -> AllocationResponse | None:
+        raise NotImplementedError
+
+    def put(self, key: str, entry: AllocationResponse) -> None:
+        raise NotImplementedError
+
+    def snapshot(self) -> dict:
+        return {"backend": self.name}
+
+    def close(self) -> None:
+        """Release any connections/handles; idempotent."""
+
+
+class DiskCacheBackend(CacheBackend):
+    """One JSON file per entry under ``root`` (atomic replace writes)."""
+
+    name = "disk"
+
+    def __init__(self, root: Path | str):
+        self.root = Path(root).expanduser()
+        self.hits = 0
+        self.puts = 0
+        self.errors = 0
+
+    def path_for(self, key: str) -> Path:
+        # Shard by prefix so a long-lived cache dir stays listable.
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> AllocationResponse | None:
+        try:
+            path = self.path_for(key)
+            if not path.is_file():
+                return None
+            wire = json.loads(path.read_text())
+            entry = AllocationResponse.from_wire(wire)
+            if entry.protocol != PROTOCOL_VERSION or not entry.ok:
+                return None
+            self.hits += 1
+            return entry
+        except (OSError, ValueError):
+            self.errors += 1
+            return None
+
+    def put(self, key: str, entry: AllocationResponse) -> None:
+        try:
+            path = self.path_for(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(".tmp")
+            tmp.write_text(entry.to_json() + "\n")
+            os.replace(tmp, path)
+            self.puts += 1
+        except OSError:
+            self.errors += 1
+
+    def snapshot(self) -> dict:
+        return {
+            "backend": self.name,
+            "root": str(self.root),
+            "hits": self.hits,
+            "puts": self.puts,
+            "errors": self.errors,
+        }
+
+
 class ResultCache:
-    """Bounded LRU of allocation responses, optionally disk-backed."""
+    """Bounded LRU of allocation responses over an optional backend tier.
+
+    ``disk_dir=`` remains the convenience spelling for the historical
+    layout and simply constructs a :class:`DiskCacheBackend`; pass
+    ``backend=`` for anything else.  The ``disk_hits``/``disk_errors``
+    counters kept their names when the disk layer generalized — they now
+    count *backend* hits/errors whatever the backend is.
+    """
 
     def __init__(self, max_entries: int = 256,
-                 disk_dir: Path | str | None = None):
+                 disk_dir: Path | str | None = None,
+                 backend: CacheBackend | None = None):
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
+        if disk_dir is not None and backend is not None:
+            raise ValueError("pass disk_dir or backend, not both")
         self.max_entries = max_entries
-        self.disk_dir = Path(disk_dir).expanduser() if disk_dir else None
+        self.backend = (DiskCacheBackend(disk_dir) if disk_dir is not None
+                        else backend)
         self._entries: "OrderedDict[str, AllocationResponse]" = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -97,6 +198,15 @@ class ResultCache:
     def __len__(self) -> int:
         return len(self._entries)
 
+    @property
+    def disk_dir(self) -> Path | None:
+        """The disk root when the backend is the disk layer, else None."""
+        return getattr(self.backend, "root", None)
+
+    def _disk_path(self, key: str) -> Path:
+        """Compat shim: the disk backend's path for ``key``."""
+        return self.backend.path_for(key)
+
     # -- lookup --------------------------------------------------------
 
     def get(self, key: str) -> AllocationResponse | None:
@@ -106,7 +216,7 @@ class ResultCache:
             self._entries.move_to_end(key)
             self.hits += 1
             return replace(entry)
-        entry = self._disk_get(key)
+        entry = self._backend_get(key)
         if entry is not None:
             self.hits += 1
             self.disk_hits += 1
@@ -119,7 +229,10 @@ class ResultCache:
         """Store ``response`` under ``key`` (metadata stripped)."""
         entry = response.for_cache()
         self._remember(key, entry)
-        self._disk_put(key, entry)
+        if self.backend is not None:
+            before = self._backend_errors()
+            self.backend.put(key, entry)
+            self.disk_errors += self._backend_errors() - before
 
     def _remember(self, key: str, entry: AllocationResponse) -> None:
         self._entries[key] = entry
@@ -128,41 +241,20 @@ class ResultCache:
             self._entries.popitem(last=False)
             self.evictions += 1
 
-    # -- disk layer ----------------------------------------------------
-
-    def _disk_path(self, key: str) -> Path:
-        # Shard by prefix so a long-lived cache dir stays listable.
-        return self.disk_dir / key[:2] / f"{key}.json"
-
-    def _disk_get(self, key: str) -> AllocationResponse | None:
-        if self.disk_dir is None:
+    def _backend_get(self, key: str) -> AllocationResponse | None:
+        if self.backend is None:
             return None
-        try:
-            import json
+        before = self._backend_errors()
+        entry = self.backend.get(key)
+        self.disk_errors += self._backend_errors() - before
+        return entry
 
-            path = self._disk_path(key)
-            if not path.is_file():
-                return None
-            wire = json.loads(path.read_text())
-            entry = AllocationResponse.from_wire(wire)
-            if entry.protocol != PROTOCOL_VERSION or not entry.ok:
-                return None
-            return entry
-        except (OSError, ValueError):
-            self.disk_errors += 1
-            return None
+    def _backend_errors(self) -> int:
+        return getattr(self.backend, "errors", 0)
 
-    def _disk_put(self, key: str, entry: AllocationResponse) -> None:
-        if self.disk_dir is None:
-            return
-        try:
-            path = self._disk_path(key)
-            path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_suffix(".tmp")
-            tmp.write_text(entry.to_json() + "\n")
-            os.replace(tmp, path)
-        except OSError:
-            self.disk_errors += 1
+    def close(self) -> None:
+        if self.backend is not None:
+            self.backend.close()
 
     # -- introspection -------------------------------------------------
 
@@ -182,4 +274,6 @@ class ResultCache:
             "disk_errors": self.disk_errors,
             "evictions": self.evictions,
             "disk_dir": str(self.disk_dir) if self.disk_dir else None,
+            "backend": (self.backend.snapshot()
+                        if self.backend is not None else None),
         }

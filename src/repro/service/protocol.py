@@ -128,6 +128,11 @@ class AllocationRequest:
     verify: bool = True
     options: AllocationOptions | None = None
     protocol: int = PROTOCOL_VERSION
+    #: cache key precomputed by a routing tier in the same trust domain
+    #: (the cluster router memoizes one digest per unique request); lets
+    #: the shard skip re-normalizing the module on its cache-hit path.
+    #: Never part of the fingerprint itself.
+    fingerprint_hint: str | None = None
 
     def __post_init__(self) -> None:
         if self.options is None:
@@ -191,6 +196,8 @@ class AllocationRequest:
         # above already carry everything a v1 conversation can express.
         if self.protocol >= 2 and self.options is not None:
             wire["options"] = self.options.to_dict()
+        if self.protocol >= 2 and self.fingerprint_hint:
+            wire["fingerprint_hint"] = self.fingerprint_hint
         return wire
 
     @classmethod
@@ -203,6 +210,9 @@ class AllocationRequest:
                 options = AllocationOptions.from_dict(wire["options"])
             except (TypeError, ValueError) as err:
                 raise ServiceError(f"bad options: {err}") from err
+        # A garbled hint from a misbehaving proxy must not fail the
+        # request — it is a hit-path shortcut, never load-bearing.
+        hint = wire.get("fingerprint_hint")
         req = cls(
             id=str(wire.get("id", "")),
             ir=wire.get("ir"),
@@ -213,6 +223,7 @@ class AllocationRequest:
             verify=bool(wire.get("verify", True)),
             options=options,
             protocol=wire.get("protocol", PROTOCOL_VERSION),
+            fingerprint_hint=hint if isinstance(hint, str) and hint else None,
         )
         req.validate()
         return req

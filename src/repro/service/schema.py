@@ -22,20 +22,43 @@ from repro.service.protocol import PROTOCOL_VERSION, AllocationResponse
 __all__ = [
     "SCHEMA_VERSION",
     "SCHEMA_TYPES",
+    "SERVICE_COUNTERS",
     "allocation_payload",
     "comparison_payload",
     "stats_payload",
     "final_stats_payload",
+    "cluster_stats_payload",
     "dataflow_backend_fields",
 ]
 
 #: Bumped whenever any emitted document shape changes incompatibly.
 #: v1: first versioned emission (previously the documents carried only
 #: ``protocol``).
-SCHEMA_VERSION = 1
+#: v2: ``cluster_stats`` joins the registry (the ``repro cluster``
+#: stats/final snapshot) and ``stats`` documents are guaranteed to carry
+#: every :data:`SERVICE_COUNTERS` counter plus the ``worker_pool`` and
+#: ``alloc_phases`` sections.
+SCHEMA_VERSION = 2
 
 #: Every ``type`` tag this module can emit.
-SCHEMA_TYPES = ("allocation", "comparison", "stats", "final_stats")
+SCHEMA_TYPES = ("allocation", "comparison", "stats", "final_stats",
+                "cluster_stats")
+
+#: Counters every ``stats``/``final_stats`` metrics section must carry —
+#: the contract the schema version vouches for (asserted by the
+#: round-trip tests so a renamed counter forces a coherent bump here).
+SERVICE_COUNTERS = (
+    "requests_total",
+    "responses_ok",
+    "responses_error",
+    "cache_hits",
+    "cache_misses",
+    "degraded_total",
+    "deadline_misses",
+    "rejected_total",
+    "batches_total",
+    "worker_deadline_kills",
+)
 
 
 def _tagged(payload: dict) -> dict:
@@ -105,3 +128,28 @@ def final_stats_payload(metrics: dict, cache: dict) -> dict:
         "metrics": metrics,
         "cache": cache,
     })
+
+
+def cluster_stats_payload(router: dict, shards: list,
+                          supervisor: dict | None = None,
+                          shard_stats: dict | None = None) -> dict:
+    """The ``stats`` reply (and shutdown snapshot) of a cluster router.
+
+    ``router`` is a :class:`~repro.cluster.router.ClusterMetrics`
+    snapshot, ``shards`` the health table, ``supervisor`` the process
+    topology (pids, cache-peer counters) when the shards are locally
+    supervised, and ``shard_stats`` maps shard index -> that shard's own
+    ``stats`` document (each entry is itself a ``stats``-shaped payload,
+    or None when the probe failed).
+    """
+    payload = _tagged({
+        "type": "cluster_stats",
+        "protocol": PROTOCOL_VERSION,
+        "router": router,
+        "shards": shards,
+    })
+    if supervisor is not None:
+        payload["supervisor"] = supervisor
+    if shard_stats is not None:
+        payload["shard_stats"] = shard_stats
+    return payload

@@ -333,6 +333,53 @@ class TestScheduler:
         assert response.ok and response.stats["moves_before"] > 0
 
 
+class TestFingerprintHint:
+    """The cluster router precomputes the digest; shards trust it to
+    short-circuit straight to the cache, read-only."""
+
+    def run_request(self, scheduler, request):
+        future = scheduler.submit(request)
+        while not future.done():
+            scheduler.run_once()
+        return future.result()
+
+    def test_hint_hit_skips_the_parse_pass(self):
+        scheduler = Scheduler(cache=ResultCache())
+        first = self.run_request(scheduler, make_request(id="a"))
+        hinted = make_request(id="b")
+        hinted.fingerprint_hint = first.fingerprint
+        second = self.run_request(scheduler, hinted)
+        assert second.cached
+        assert second.id == "b"
+        assert second.result_digest == first.result_digest
+        assert second.fingerprint == first.fingerprint
+        # the whole point: the module was never re-normalized
+        assert "parse_s" not in second.timings
+
+    def test_wrong_hint_falls_through_to_the_full_path(self):
+        scheduler = Scheduler(cache=ResultCache())
+        request = make_request(id="a", fingerprint_hint="0" * 64)
+        response = self.run_request(scheduler, request)
+        assert response.ok and not response.cached
+        assert response.fingerprint != request.fingerprint_hint
+        # puts go under the *computed* key — a bad hint can misroute a
+        # read, never poison the cache
+        assert scheduler.cache.get(response.fingerprint) is not None
+        assert scheduler.cache.get("0" * 64) is None
+
+    def test_hint_round_trips_on_the_wire(self):
+        request = make_request(id="a", fingerprint_hint="ab" * 32)
+        wire = request.to_wire()
+        assert wire["fingerprint_hint"] == "ab" * 32
+        again = AllocationRequest.from_wire(wire)
+        assert again.fingerprint_hint == "ab" * 32
+
+    def test_garbled_hint_is_dropped_not_fatal(self):
+        wire = make_request(id="a").to_wire()
+        wire["fingerprint_hint"] = 1234
+        assert AllocationRequest.from_wire(wire).fingerprint_hint is None
+
+
 class TestPipelineSerialFallback:
     def test_unstartable_pool_falls_back_with_warning(self, monkeypatch):
         from repro.ir.parser import parse_module
@@ -357,7 +404,103 @@ class TestPipelineSerialFallback:
         assert got.cycles.total == want.cycles.total
         assert render_allocation(got) == render_allocation(want)
 
+    def test_fallback_warning_names_the_reason(self, monkeypatch):
+        """The serial-fallback warning carries the pool-start failure
+        cause, not just the fact of the fallback."""
+        from repro.ir.parser import parse_module
+
+        import repro.pipeline as pipeline
+
+        machine = make_machine(8)
+        two_funcs = IR + "\n" + IR.replace("axpy", "axpy2")
+        prepared = prepare_module(parse_module(two_funcs), machine)
+
+        def exploding_pool(*a, **kw):
+            raise OSError("fork refused by sandbox policy")
+
+        monkeypatch.setattr(pipeline, "get_default_pool", exploding_pool)
+        with pytest.warns(RuntimeWarning,
+                          match="fork refused by sandbox policy"):
+            allocate_module(prepared, machine,
+                            ALLOCATOR_FACTORIES["full"](),
+                            AllocationOptions(jobs=4))
+
+    def test_startup_timeout_names_worker_fates(self):
+        """A pool whose workers die before their first heartbeat says
+        which workers died and with what exit codes."""
+        from repro.exec.pool import WorkerPool, WorkerPoolUnavailable
+
+        pool = WorkerPool(workers=2, task="repro.exec:does_not_exist",
+                          start_timeout_s=5.0)
+        try:
+            with pytest.raises(WorkerPoolUnavailable) as excinfo:
+                pool.ensure_started()
+        finally:
+            pool.shutdown()
+        message = str(excinfo.value)
+        assert "worker 0" in message and "worker 1" in message
+        assert "exited with code" in message
+
 
 class TestCanonicalJson:
     def test_key_order_and_compactness(self):
         assert canonical_json({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'
+
+
+class TestSchemaRoundTrip:
+    """The schema version vouches for the metrics contract.
+
+    Every counter the service has grown (worker pool, degradation,
+    cache layers) must appear in the emitted ``stats`` documents, and
+    the counter set must match :data:`SERVICE_COUNTERS` exactly — so
+    adding or renaming a counter without a coherent schema bump fails
+    here, not in a downstream consumer.
+    """
+
+    def test_counters_match_the_schema_contract(self):
+        from repro.service.schema import SERVICE_COUNTERS
+
+        snapshot = ServiceMetrics().snapshot()
+        assert set(snapshot["counters"]) == set(SERVICE_COUNTERS)
+
+    def test_stats_documents_carry_every_counter(self):
+        from repro.service.schema import (
+            SCHEMA_VERSION,
+            SERVICE_COUNTERS,
+            final_stats_payload,
+            stats_payload,
+        )
+
+        cache = ResultCache(max_entries=4)
+        metrics = ServiceMetrics()
+        scheduler = Scheduler(cache=cache, metrics=metrics)
+        scheduler.start()
+        try:
+            assert scheduler.submit(make_request()).result(timeout=30).ok
+            assert scheduler.submit(
+                make_request(id="t2")).result(timeout=30).cached
+        finally:
+            scheduler.stop()
+
+        stats = stats_payload(queue_depth=0, metrics=metrics.snapshot(),
+                              cache=cache.snapshot())
+        final = final_stats_payload(metrics.snapshot(), cache.snapshot())
+        for doc in (stats, final):
+            assert doc["schema"] == SCHEMA_VERSION
+            counters = doc["metrics"]["counters"]
+            for name in SERVICE_COUNTERS:
+                assert name in counters, name
+            # the sections v2 vouches for
+            assert "worker_pool" in doc["metrics"]
+            assert "alloc_phases" in doc["metrics"]
+        assert stats["metrics"]["counters"]["cache_hits"] >= 1
+        # wire round-trip: the document survives canonical JSON intact
+        assert json.loads(canonical_json(stats)) == stats
+
+    def test_schema_version_bumped_for_cluster(self):
+        from repro.service.schema import SCHEMA_TYPES, SCHEMA_VERSION
+
+        assert SCHEMA_VERSION >= 2
+        assert "cluster_stats" in SCHEMA_TYPES
+        # cache snapshots grew a backend section in v2
+        assert "backend" in ResultCache().snapshot()
