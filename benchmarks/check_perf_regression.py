@@ -35,6 +35,16 @@ refused outright (the ``backend`` field each report carries): an int
 report sneaking in as the fresh side would otherwise read as a 2x
 "regression" of the numpy kernels, and vice versa as a free pass.
 
+``--edit`` gates ``BENCH_edit_churn.json`` reports.  Scratch and
+incremental latencies come from the same run on the same machine, so
+the ``speedup`` figure is already runner-independent and is checked two
+ways: against an absolute floor (2.0x — the edit path's reason to
+exist) scaled by the tolerance for noisy smoke runs, and against the
+committed report's speedup within tolerance.  Every fresh report must
+also carry ``fingerprints_identical`` and ``modes_identical`` — the
+bench asserts per-edit result digests match the scratch path in all
+``incremental_edits`` modes, and those flags prove the assertions ran.
+
 ``--cluster`` gates ``BENCH_cluster_throughput.json`` reports.  The
 comparable quantity is ``scaling_vs_single`` — each point's throughput
 relative to the 1-shard point *of the same run*, the cluster analog of
@@ -146,6 +156,45 @@ def check_dataflow(fresh: dict, committed: dict,
     return failures
 
 
+#: absolute speedup floor for value-rung edit churn
+EDIT_SPEEDUP_FLOOR = 2.0
+
+
+def check_edit(fresh: dict, committed: dict, tolerance: float) -> list[str]:
+    """Gate an edit-churn report: speedup floor + exactness flags."""
+    for side, report in (("fresh", fresh), ("committed", committed)):
+        if report.get("kind") != "edit_churn":
+            raise SystemExit(
+                f"{side} report is not an edit_churn report; "
+                "regenerate it with bench_edit_churn.py"
+            )
+    failures = []
+    for flag in ("fingerprints_identical", "modes_identical"):
+        if not fresh.get(flag):
+            failures.append(f"fresh report lacks {flag} — the bench's "
+                            "exactness assertions did not run clean")
+    got, want = fresh["speedup"], committed["speedup"]
+    floor = EDIT_SPEEDUP_FLOOR * (1 - tolerance)
+    margin = got / want - 1.0
+    flag = " REGRESSION" if (-margin > tolerance or got < floor) else ""
+    print(f"{'edit speedup':>16} {want:>10.2f} {got:>10.2f} "
+          f"{margin:>+7.0%}{flag}  (floor {floor:.2f})")
+    if got < floor:
+        failures.append(
+            f"incremental speedup {got:.2f}x below the "
+            f"{EDIT_SPEEDUP_FLOOR:.1f}x floor (tolerance-scaled "
+            f"{floor:.2f})")
+    if -margin > tolerance:
+        failures.append(
+            f"speedup {got:.2f}x vs committed {want:.2f}x "
+            f"(-{-margin:.0%} worse than -{tolerance:.0%} allowed)")
+    hit_ratio = fresh["incremental"].get("session_hit_ratio", 0)
+    if hit_ratio <= 0:
+        failures.append("session store fielded no hits — every edit "
+                        "rebuilt from scratch")
+    return failures
+
+
 def check_cluster(fresh: dict, committed: dict,
                   tolerance: float) -> list[str]:
     """Gate a cluster-throughput report against the committed baseline."""
@@ -222,13 +271,28 @@ def main(argv=None) -> int:
                              "on single-shard-normalized throughput "
                              "scaling, zero errors, and a live shared "
                              "cache tier")
+    parser.add_argument("--edit", action="store_true",
+                        help="gate BENCH_edit_churn.json reports on the "
+                             "incremental-vs-scratch speedup floor, the "
+                             "committed speedup, and the exactness flags")
     args = parser.parse_args(argv)
-    if sum((args.selector, args.dataflow, args.cluster)) > 1:
-        parser.error("--selector, --dataflow and --cluster are "
+    if sum((args.selector, args.dataflow, args.cluster, args.edit)) > 1:
+        parser.error("--selector, --dataflow, --cluster and --edit are "
                      "mutually exclusive")
 
     fresh = json.loads(args.fresh.read_text())
     committed = json.loads(args.committed.read_text())
+
+    if args.edit:
+        failures = check_edit(fresh, committed, args.tolerance)
+        if failures:
+            print("\nedit churn perf gate FAILED:", file=sys.stderr)
+            for line in failures:
+                print(f"  - {line}", file=sys.stderr)
+            return 1
+        print("\nedit churn perf gate passed "
+              f"(tolerance {args.tolerance:.0%})")
+        return 0
 
     if args.cluster:
         failures = check_cluster(fresh, committed, args.tolerance)

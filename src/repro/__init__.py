@@ -56,11 +56,17 @@ from repro.ir import (
     validate_module,
 )
 from repro.ir.clone import clone_function, clone_module
+from repro.ir.diff import FunctionDelta, ValueEdit, diff_functions
 from repro.pipeline import (
     ModuleAllocation,
     allocate_module,
     prepare_function,
     prepare_module,
+)
+from repro.service.session import (
+    FunctionSession,
+    SessionStore,
+    allocate_function_incremental,
 )
 from repro.regalloc import (
     AllocationOptions,
@@ -144,11 +150,17 @@ __all__ = [
     "validate_module",
     "clone_function",
     "clone_module",
+    "diff_functions",
+    "FunctionDelta",
+    "ValueEdit",
     # pipeline
     "prepare_function",
     "prepare_module",
     "allocate_module",
     "ModuleAllocation",
+    "allocate_function_incremental",
+    "FunctionSession",
+    "SessionStore",
     "to_ssa",
     "from_ssa",
     "lower_function",

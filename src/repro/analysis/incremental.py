@@ -1,44 +1,58 @@
-"""Incremental re-analysis of spill rounds.
+"""Incremental re-analysis: patching round analyses through a delta.
 
 The Figure 8 loop — renumber → analyze → color → spill → repeat —
 rebuilt every analysis from scratch each round, although
 :func:`~repro.regalloc.spill.insert_spill_code` never changes control
 flow and rewrites only the blocks where a spilled live range occurs.
-This module patches the previous round's analyses through a
-:class:`~repro.regalloc.spill.SpillDelta` instead:
+PR-3 patched the previous round's analyses through a
+:class:`~repro.regalloc.spill.SpillDelta`; this module generalizes the
+same machinery to an arbitrary :class:`~repro.ir.diff.FunctionDelta`,
+so *source edits* (the session layer, :mod:`repro.service.session`)
+patch analyses the same way spill rounds do:
 
-* **CFG and loop nest** are reused outright (spill code is branch-free);
-* **liveness** re-derives gen/kill summaries only for touched blocks and
-  re-solves a worklist seeded from them, translating every untouched
-  block's masks through the renumbering;
+* **CFG and loop nest** are reused outright while the delta leaves the
+  edge set alone, and rebuilt (they are cheap) when it does not;
+* **liveness** re-derives gen/kill summaries only for touched blocks
+  and re-solves a worklist over masks translated through the delta's
+  register rename;
 * **interference** re-scans only touched blocks; untouched blocks'
   one-sided row contributions are translated and re-merged;
 * **spill costs** re-scan only touched blocks; untouched contributions
   are renamed and re-summed.
 
-Why translation + a monotone worklist is exact: renumbering renames
-every surviving live range bijectively (we bail out when any web
-splits), and spill insertion leaves the occurrences of *surviving*
-registers untouched — so each untouched block's gen/kill/row/cost
-summaries are the old ones under the rename.  Deleted live ranges
-(spilled or rematerialized — including a spilled parameter, whose old
-whole-function range collapses to one entry-block store) must not be
-re-iterated from the stale solution, because a stale "live" bit can
-sustain itself around a cycle; instead their bits are dropped from every
-translated mask, leaving a start point *below* the new fixed point, and
-the worklist monotonically re-adds exactly what the touched blocks
-expose.  The fixed point of the (monotone, finite) system is unique, so
-the patched solution equals the from-scratch one bit for bit.
+Why translation + a monotone worklist is exact: the rename maps every
+surviving live range bijectively, and a register that occurs in any
+untouched block has — by per-register separability of liveness (the
+bits of ``v`` depend only on ``v``'s own occurrences and the CFG) —
+exactly the same bits it had before, under the rename.  Registers
+whose occurrences may have changed (they occur in a touched or removed
+base block) must not be re-iterated from the stale solution, because a
+stale "live" bit can sustain itself around a cycle; their bits are
+dropped from every translated seed, leaving a start point *below* the
+new fixed point, and the worklist monotonically re-adds exactly what
+the re-scanned blocks expose.  The fixed point of the (monotone,
+finite) system is unique, so the patched solution equals the
+from-scratch one bit for bit.  Spill rounds are the special case where
+only the spilled ranges are unstable and they vanish entirely, so
+seeding the worklist from the touched blocks alone suffices; source
+edits re-enqueue every block (one cheap sweep over translated masks)
+because an unstable register may also occur in untouched blocks.
+Untouched interference rows additionally require the block's live-out
+set to survive the edit unchanged — checked per block with one mask
+compare (spill insertion cannot change a survivor's liveness, so the
+spill path skips the gate) — and cost tables require the block's loop
+frequency to survive, checked when the loop nest was rebuilt.
 
 Any violated assumption — web splits, unreachable blocks, missing
-per-block state — makes :func:`apply_spill_delta` return ``None`` and
-the driver falls back to a from-scratch
+per-block state, an inconsistent delta, or a delta touching more than
+:data:`EDIT_TOUCHED_BAILOUT` of the blocks — makes the patchers return
+``None`` and the caller falls back to a from-scratch
 :func:`~repro.regalloc.base.compute_round_analyses`.
 
-The escape hatch: ``REPRO_INCREMENTAL_ROUNDS=0`` (or ``off``/``false``)
-disables patching entirely; ``REPRO_INCREMENTAL_ROUNDS=validate`` runs
-both paths every round and raises on any divergence (the property suite
-runs under it).
+The escape hatches: ``REPRO_INCREMENTAL_ROUNDS`` governs spill rounds
+and ``REPRO_INCREMENTAL_EDITS`` the session layer; both accept
+``0``/``off``/``false`` (disable) and ``validate`` (run both paths,
+raise on any divergence — the property suites run under it).
 """
 
 from __future__ import annotations
@@ -46,6 +60,7 @@ from __future__ import annotations
 import os
 from collections import deque
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.analysis import matrix
 from repro.analysis.indexing import index_function
@@ -56,7 +71,10 @@ from repro.analysis.interference import (
 )
 from repro.analysis.liveness import LazySetsLiveness, Liveness, _block_masks
 from repro.analysis.renumber import RenumberResult
+from repro.cfg.analysis import CFG, build_cfg
+from repro.cfg.loops import LoopInfo, compute_loops
 from repro.errors import AllocationError
+from repro.ir.diff import FunctionDelta
 from repro.ir.function import Function
 from repro.ir.instructions import Move
 from repro.ir.values import PReg, VReg
@@ -67,14 +85,23 @@ from repro.regalloc.spill import SpillDelta
 __all__ = [
     "PatchedAnalyses",
     "apply_spill_delta",
+    "apply_function_delta",
     "incremental_mode",
+    "incremental_edits_mode",
     "parse_incremental",
     "compare_analyses",
+    "EDIT_TOUCHED_BAILOUT",
 ]
+
+#: A :class:`FunctionDelta` touching more than this fraction of the new
+#: function's blocks is not worth patching through — translation plus
+#: re-scan would approach the cost of a from-scratch analysis, so the
+#: patcher bails out conservatively.
+EDIT_TOUCHED_BAILOUT = 0.5
 
 
 def parse_incremental(raw: str) -> str:
-    """Normalize an incremental-rounds setting to on/off/validate."""
+    """Normalize an incremental-mode setting to on/off/validate."""
     raw = str(raw).strip().lower()
     if raw in {"0", "off", "false", "no"}:
         return "off"
@@ -96,15 +123,63 @@ def incremental_mode() -> str:
     return parse_incremental(os.environ.get("REPRO_INCREMENTAL_ROUNDS", "1"))
 
 
+def incremental_edits_mode() -> str:
+    """The ``REPRO_INCREMENTAL_EDITS`` default for the session layer.
+
+    Same grammar as :func:`incremental_mode`; an explicit
+    ``AllocationOptions.incremental_edits`` always wins.
+    """
+    return parse_incremental(os.environ.get("REPRO_INCREMENTAL_EDITS", "1"))
+
+
 @dataclass(eq=False)
 class PatchedAnalyses:
-    """The analyses :func:`apply_spill_delta` produced for the new round."""
+    """The analyses a delta patch produced for the new round.
+
+    ``cfg``/``loops`` are the tables valid for the patched function —
+    the previous round's objects when the delta left the edge set
+    alone, freshly built otherwise.
+    """
 
     liveness: Liveness
     ig: InterferenceGraph
     spill_costs: dict[VReg, float]
     block_rows: dict[str, dict[int, int]]
     block_costs: dict[str, dict[VReg, float]]
+    cfg: CFG | None = None
+    loops: LoopInfo | None = None
+
+
+@dataclass(eq=False)
+class _PatchPlan:
+    """How one delta maps onto the shared patch core.
+
+    The spill plan and the edit plan differ only in flags: the spill
+    path seeds its worklist from touched blocks alone and skips the
+    reuse gates (its invariants make them vacuous), the edit path
+    re-enqueues every block and gates row/cost reuse.
+    """
+
+    touched: set[str]
+    rename: dict
+    dropped: Iterable[VReg]
+    cfg: CFG
+    loops: LoopInfo
+    #: spill mode: a survivor missing from the rename means the delta
+    #: lied — bail instead of dropping
+    strict: bool = True
+    #: ignore the old solution entirely (the edge set changed, so stale
+    #: bits need not sit below the new fixed point)
+    seed_zero: bool = False
+    #: enqueue every block, not just touched ones
+    worklist_all: bool = False
+    #: *base-side* labels whose registers' seed bits are unsafe
+    stale_labels: frozenset = frozenset()
+    #: compare each untouched block's live-out before reusing its rows
+    gate_rows: bool = False
+    #: compare each untouched block's loop frequency before reusing its
+    #: cost table
+    gate_costs: bool = False
 
 
 def apply_spill_delta(
@@ -127,32 +202,98 @@ def apply_spill_delta(
     runs both and raises on any divergence — so PR-3's byte-identical
     guarantee is enforced across backends, not just across rounds.
     """
+    # A split web means renaming is not a bijection on survivors.
+    if any(count != 1 for count in renumbering.split_counts.values()):
+        return None
+    fdelta = FunctionDelta.from_spill(delta, renumbering)
+
+    def run(use_matrix: bool) -> PatchedAnalyses | None:
+        plan = _PatchPlan(
+            touched=set(fdelta.touched_blocks),
+            rename=fdelta.rename,
+            dropped=fdelta.deleted_vregs,
+            cfg=prev.cfg,
+            loops=prev.loops,
+        )
+        return _apply_delta(func, prev, plan, use_matrix)
+
+    return _run_backends(run, "spill-delta")
+
+
+def apply_function_delta(
+    func: Function,
+    prev,
+    fdelta: FunctionDelta,
+) -> PatchedAnalyses | None:
+    """Patch ``prev`` (a ``RoundAnalyses``) through an edit delta.
+
+    ``func`` is the new version, already prepared and renumbered;
+    ``fdelta`` must come from a renumbered-mode
+    :func:`~repro.ir.diff.diff_functions` of the previously analyzed
+    function against ``func``.  Returns ``None`` when the delta is
+    inconsistent, touches more than :data:`EDIT_TOUCHED_BAILOUT` of the
+    blocks, or violates a patch precondition.
+    """
+    if not fdelta.consistent:
+        return None
+    if fdelta.touched_fraction(len(func.blocks)) > EDIT_TOUCHED_BAILOUT:
+        return None
+
+    with phase("patch"):
+        if fdelta.changed_edges:
+            with phase("cfg"):
+                cfg = build_cfg(func)
+                loops = compute_loops(cfg)
+        else:
+            cfg, loops = prev.cfg, prev.loops
+
+        def run(use_matrix: bool) -> PatchedAnalyses | None:
+            plan = _PatchPlan(
+                touched=set(fdelta.touched_blocks) | set(fdelta.added_blocks),
+                rename=fdelta.rename,
+                dropped=fdelta.deleted_vregs,
+                cfg=cfg,
+                loops=loops,
+                strict=False,
+                seed_zero=fdelta.changed_edges,
+                worklist_all=True,
+                stale_labels=frozenset(fdelta.touched_blocks)
+                | frozenset(fdelta.removed_blocks),
+                gate_rows=True,
+                gate_costs=fdelta.changed_edges,
+            )
+            return _apply_delta(func, prev, plan, use_matrix)
+
+        return _run_backends(run, "edit-delta")
+
+
+def _run_backends(run, what: str) -> PatchedAnalyses | None:
+    """Dispatch a patch body over the selected dataflow backend(s)."""
     mode = matrix.dataflow_mode()
     if mode == "int":
-        return _apply_spill_delta(func, prev, delta, renumbering, False)
+        return run(False)
     if mode == "numpy":
-        return _apply_spill_delta(func, prev, delta, renumbering, True)
-    got = _apply_spill_delta(func, prev, delta, renumbering, True)
-    want = _apply_spill_delta(func, prev, delta, renumbering, False)
+        return run(True)
+    got = run(True)
+    want = run(False)
     if (got is None) != (want is None):
         raise AllocationError(
-            "dataflow backends disagree on spill-delta preconditions"
+            f"dataflow backends disagree on {what} preconditions"
         )
     if got is not None:
         problems = compare_analyses(got, want)
         if problems:
             raise AllocationError(
-                "dataflow backends diverged in spill-round patch: "
+                f"dataflow backends diverged in {what} patch: "
                 + "; ".join(problems)
             )
     return got
 
 
-def _apply_spill_delta(
+def _apply_delta(
     func: Function,
     prev,
-    delta: SpillDelta,
-    renumbering: RenumberResult,
+    plan: _PatchPlan,
     use_matrix: bool,
 ) -> PatchedAnalyses | None:
     old_liv: Liveness = prev.liveness
@@ -160,19 +301,17 @@ def _apply_spill_delta(
     if (old_index is None or prev.block_rows is None
             or prev.block_costs is None or not old_liv.use_mask):
         return None
-    # A split web means renaming is not a bijection on survivors.
-    if any(count != 1 for count in renumbering.split_counts.values()):
-        return None
-    cfg = prev.cfg
+    cfg = plan.cfg
+    loops = plan.loops
     blocks = func.block_map()
     # Renumber skips unreachable blocks, so their registers keep stale
     # names the rename map cannot translate.
     if len(cfg.reachable()) != len(blocks):
         return None
 
-    touched = delta.touched_blocks
-    deleted = delta.deleted_vregs
-    rename = {w.original: w.reg for w in renumbering.webs}
+    touched = plan.touched
+    dropped = set(plan.dropped)
+    rename = plan.rename
 
     # --- old dense id -> new dense bit (0 drops the register) ----------
     # The canonical index of the rewritten function: building it fresh
@@ -187,15 +326,19 @@ def _apply_spill_delta(
     for old_id, reg in enumerate(old_index.regs):
         if isinstance(reg, PReg):
             new = reg
-        elif reg in deleted:
+        elif reg in dropped:
             continue
         else:
             new = rename.get(reg)
             if new is None:
-                return None
+                if plan.strict:
+                    return None
+                continue  # occurs only in re-scanned blocks: rediscover
         new_id = new_ids.get(new)
         if new_id is None:
-            return None
+            if plan.strict:
+                return None
+            continue  # no longer occurs anywhere in the new version
         trans[old_id] = 1 << new_id
         trans_pos[old_id] = new_id
 
@@ -230,19 +373,31 @@ def _apply_spill_delta(
             base += 32
         return out
 
-    # --- liveness: reuse untouched summaries, re-solve from touched ----
+    old_gen = old_liv.use_mask
+    old_kill = old_liv.defs_mask
+    old_in = old_liv.live_in_mask
+    old_out = old_liv.live_out_mask
+
+    # Seed bits of registers occurring in re-scanned base blocks are
+    # unsafe: the edit may have removed the occurrence sustaining them,
+    # and a stale bit can keep itself alive around a CFG cycle.  Drop
+    # them before translation; the worklist re-adds the true bits.
+    stale = 0
+    for label in plan.stale_labels:
+        stale |= old_gen.get(label, 0) | old_kill.get(label, 0)
+
+    # --- liveness: reuse untouched summaries, re-solve the worklist ----
     with phase("liveness"):
         gen: dict[str, int] = {}
         kill: dict[str, int] = {}
-        old_gen = old_liv.use_mask
-        old_kill = old_liv.defs_mask
-        old_in = old_liv.live_in_mask
-        old_out = old_liv.live_out_mask
         live_in: dict[str, int] = {}
         live_out: dict[str, int] = {}
+        #: untouched label -> faithful translation of its old live-out
+        #: (the row-reuse gate; unmasked, unlike the seeds)
+        gate_out: dict[str, int] = {}
         if use_matrix:
             # One batched column permute translates every untouched
-            # summary and the whole seed solution at once.
+            # summary, gate mask, and the whole seed solution at once.
             to_translate: list[int] = []
             untouched_labels: list[str] = []
             for blk in func.blocks:
@@ -254,17 +409,24 @@ def _apply_spill_delta(
                     untouched_labels.append(label)
                     to_translate.append(g_old)
                     to_translate.append(old_kill[label])
-            for blk in func.blocks:
-                to_translate.append(old_in[blk.label])
-                to_translate.append(old_out[blk.label])
+                    to_translate.append(old_out[label])
+            seed_base = len(to_translate)
+            if not plan.seed_zero:
+                for blk in func.blocks:
+                    label = blk.label
+                    to_translate.append(old_in.get(label, 0) & ~stale)
+                    to_translate.append(old_out.get(label, 0) & ~stale)
             translated = matrix.translate_masks(
                 to_translate, trans_pos, len(old_index), len(index)
             )
             summaries = {
-                label: (translated[2 * i], translated[2 * i + 1])
+                label: (translated[3 * i], translated[3 * i + 1])
                 for i, label in enumerate(untouched_labels)
             }
-            base = 2 * len(untouched_labels)
+            gate_out = {
+                label: translated[3 * i + 2]
+                for i, label in enumerate(untouched_labels)
+            }
             for blk in func.blocks:
                 label = blk.label
                 if label in touched:
@@ -275,8 +437,12 @@ def _apply_spill_delta(
                 else:
                     gen[label], kill[label] = summaries[label]
             for j, blk in enumerate(func.blocks):
-                live_in[blk.label] = translated[base + 2 * j]
-                live_out[blk.label] = translated[base + 2 * j + 1]
+                if plan.seed_zero:
+                    live_in[blk.label] = 0
+                    live_out[blk.label] = 0
+                else:
+                    live_in[blk.label] = translated[seed_base + 2 * j]
+                    live_out[blk.label] = translated[seed_base + 2 * j + 1]
         else:
             for blk in func.blocks:
                 label = blk.label
@@ -291,15 +457,21 @@ def _apply_spill_delta(
                         return None
                     gen[label] = translate(g_old)
                     kill[label] = translate(old_kill[label])
+                    if plan.gate_rows:
+                        gate_out[label] = translate(old_out[label])
             for blk in func.blocks:
                 label = blk.label
-                live_in[label] = translate(old_in[label])
-                live_out[label] = translate(old_out[label])
+                if plan.seed_zero:
+                    live_in[label] = 0
+                    live_out[label] = 0
+                else:
+                    live_in[label] = translate(old_in.get(label, 0) & ~stale)
+                    live_out[label] = translate(old_out.get(label, 0) & ~stale)
 
         with phase("solve"):
             if use_matrix:
                 # The translated seed sits below the new fixed point
-                # (deleted bits dropped, survivors renamed), so matrix
+                # (unstable bits dropped, survivors renamed), so matrix
                 # sweeps converge to — and certify — the same unique
                 # fixed point the scalar worklist reaches.
                 live_in, live_out = matrix.sweep_liveness(
@@ -308,9 +480,12 @@ def _apply_spill_delta(
             else:
                 succs = cfg.succs
                 preds = cfg.preds
-                pending = deque(
-                    lbl for lbl in cfg.postorder() if lbl in touched
-                )
+                if plan.worklist_all:
+                    pending = deque(cfg.postorder())
+                else:
+                    pending = deque(
+                        lbl for lbl in cfg.postorder() if lbl in touched
+                    )
                 queued = set(pending)
                 while pending:
                     label = pending.popleft()
@@ -346,7 +521,19 @@ def _apply_spill_delta(
                 liveness.use[label] = set_of(gen[label])
                 liveness.defs[label] = set_of(kill[label])
 
-    # --- interference: translate untouched rows, re-scan touched -------
+    # An untouched block's row contributions replay its backward scan,
+    # which starts from its live-out: reuse is exact only if that
+    # live-out survived the edit (up to the rename).  Spill insertion
+    # cannot change a survivor's liveness, so the gate is enabled only
+    # for edit deltas.
+    rescan_rows = set(touched)
+    if plan.gate_rows:
+        for blk in func.blocks:
+            label = blk.label
+            if label not in touched and gate_out[label] != live_out[label]:
+                rescan_rows.add(label)
+
+    # --- interference: translate untouched rows, re-scan the rest -----
     with phase("interference"):
         moves: list[Move] = []
         rows: dict[int, int] = {}
@@ -360,7 +547,7 @@ def _apply_spill_delta(
                 row_masks: list[int] = []
                 for blk in func.blocks:
                     label = blk.label
-                    if label in touched:
+                    if label in rescan_rows:
                         continue
                     old_rows = prev.block_rows.get(label)
                     if old_rows is None:
@@ -380,7 +567,7 @@ def _apply_spill_delta(
             for blk in func.blocks:
                 label = blk.label
                 local: dict[int, int] = {}
-                if label in touched:
+                if label in rescan_rows:
                     scan_block_rows(blk, index, live_out[label], local,
                                     moves)
                 else:
@@ -418,12 +605,15 @@ def _apply_spill_delta(
 
     # --- spill costs: rename untouched contributions, re-scan touched --
     with phase("spill-costs"):
-        loops = prev.loops
         costs: dict[VReg, float] = {}
         block_costs: dict[str, dict[VReg, float]] = {}
         for blk in func.blocks:
             label = blk.label
-            if label in touched:
+            rescan = label in touched
+            if not rescan and plan.gate_costs \
+                    and prev.loops.freq(label) != loops.freq(label):
+                rescan = True
+            if rescan:
                 local = block_spill_costs(blk, loops.freq(label))
             else:
                 old_local = prev.block_costs.get(label)
@@ -433,8 +623,9 @@ def _apply_spill_delta(
                 for v, c in old_local.items():
                     nv = rename.get(v)
                     if nv is None:
-                        # A deleted register can only occur in touched
-                        # blocks; reaching here means the delta lied.
+                        # A register without a rename can only occur in
+                        # re-scanned blocks; reaching here means the
+                        # delta lied.
                         return None
                     local[nv] = c
             block_costs[label] = local
@@ -445,35 +636,102 @@ def _apply_spill_delta(
                 costs.setdefault(param, 0.0)
 
     return PatchedAnalyses(liveness=liveness, ig=ig, spill_costs=costs,
-                           block_rows=block_rows, block_costs=block_costs)
+                           block_rows=block_rows, block_costs=block_costs,
+                           cfg=cfg, loops=loops)
+
+
+def _mask_divergence(p_mask: dict, f_mask: dict, index) -> str:
+    """Locate the first block/register where two mask tables differ."""
+    for label in f_mask:
+        p = p_mask.get(label)
+        if p != f_mask[label]:
+            if p is None:
+                return f" at block {label!r} (missing)"
+            diff = p ^ f_mask[label]
+            bit = (diff & -diff).bit_length() - 1
+            reg = (index.regs[bit] if index is not None
+                   and bit < len(index.regs) else f"bit {bit}")
+            return f" at block {label!r}, first at {reg}"
+    extra = sorted(set(p_mask) - set(f_mask))
+    return f" (extra block {extra[0]!r})" if extra else ""
+
+
+def _set_divergence(p_sets: dict, f_sets: dict) -> str:
+    for label in f_sets:
+        p = p_sets.get(label, set())
+        if p != f_sets[label]:
+            delta = sorted(p ^ f_sets[label], key=str)
+            return f" at block {label!r}, first at {delta[0]}"
+    return ""
 
 
 def compare_analyses(patched, fresh) -> list[str]:
     """Differences between a patched and a from-scratch round analysis.
 
     Empty list means value-identical (including the node insertion order
-    the allocators' tie-breaks depend on).  Used by validate mode and
-    the property suite.
+    the allocators' tie-breaks depend on).  Each problem names the first
+    divergent block/register so validate-mode failures are actionable.
+    Used by validate mode and the property suite.
     """
     problems: list[str] = []
     p_liv, f_liv = patched.liveness, fresh.liveness
-    for name in ("live_in", "live_out", "use", "defs",
-                 "live_in_mask", "live_out_mask", "use_mask", "defs_mask"):
-        if getattr(p_liv, name) != getattr(f_liv, name):
-            problems.append(f"liveness.{name} differs")
+    index = getattr(f_liv, "index", None)
+    for name in ("live_in_mask", "live_out_mask", "use_mask", "defs_mask"):
+        p, f = getattr(p_liv, name), getattr(f_liv, name)
+        if p != f:
+            problems.append(
+                f"liveness.{name} differs{_mask_divergence(p, f, index)}"
+            )
+    for name in ("live_in", "live_out", "use", "defs"):
+        p, f = getattr(p_liv, name), getattr(f_liv, name)
+        if p != f:
+            problems.append(
+                f"liveness.{name} differs{_set_divergence(p, f)}"
+            )
     p_ig, f_ig = patched.ig, fresh.ig
     if list(p_ig.adjacency) != list(f_ig.adjacency):
-        problems.append("interference node order differs")
+        p_nodes, f_nodes = list(p_ig.adjacency), list(f_ig.adjacency)
+        at = next(
+            (i for i, (a, b) in enumerate(zip(p_nodes, f_nodes)) if a != b),
+            min(len(p_nodes), len(f_nodes)),
+        )
+        where = (f" at position {at} ({p_nodes[at] if at < len(p_nodes) else '<end>'}"
+                 f" vs {f_nodes[at] if at < len(f_nodes) else '<end>'})")
+        problems.append(f"interference node order differs{where}")
     if p_ig.adjacency != f_ig.adjacency:
-        problems.append("interference adjacency differs")
+        detail = ""
+        for node, f_row in f_ig.adjacency.items():
+            p_row = p_ig.adjacency.get(node, set())
+            if p_row != f_row:
+                delta = sorted(p_row ^ f_row, key=str)
+                detail = f" at {node}, first at {delta[0]}"
+                break
+        problems.append(f"interference adjacency differs{detail}")
     if [(m.dst, m.src) for m in p_ig.moves] != \
             [(m.dst, m.src) for m in f_ig.moves]:
         problems.append("move lists differ")
     if patched.spill_costs != fresh.spill_costs:
-        problems.append("spill costs differ")
+        detail = ""
+        for v in sorted(set(patched.spill_costs) | set(fresh.spill_costs),
+                        key=str):
+            if patched.spill_costs.get(v) != fresh.spill_costs.get(v):
+                detail = (f" at {v} ({patched.spill_costs.get(v)} vs "
+                          f"{fresh.spill_costs.get(v)})")
+                break
+        problems.append(f"spill costs differ{detail}")
     if fresh.block_rows is not None and patched.block_rows != fresh.block_rows:
-        problems.append("per-block interference rows differ")
+        detail = next(
+            (f" at block {lbl!r}" for lbl in fresh.block_rows
+             if patched.block_rows.get(lbl) != fresh.block_rows[lbl]),
+            "",
+        )
+        problems.append(f"per-block interference rows differ{detail}")
     if (fresh.block_costs is not None
             and patched.block_costs != fresh.block_costs):
-        problems.append("per-block cost tables differ")
+        detail = next(
+            (f" at block {lbl!r}" for lbl in fresh.block_costs
+             if patched.block_costs.get(lbl) != fresh.block_costs[lbl]),
+            "",
+        )
+        problems.append(f"per-block cost tables differ{detail}")
     return problems

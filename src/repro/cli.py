@@ -139,6 +139,11 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--deadline", type=float, default=None,
                         help="seconds before the server may degrade "
                              "the allocator")
+    submit.add_argument("--base", default=None, metavar="TOKEN",
+                        help="send an allocate_delta request: TOKEN is "
+                             "the session_digest of the previous "
+                             "response ('new' starts a fresh edit "
+                             "chain); requires --file")
     submit.add_argument("--host", default="127.0.0.1")
     submit.add_argument("--port", type=int, default=7421)
     submit.add_argument("--json", action="store_true",
@@ -360,6 +365,7 @@ def _cmd_serve(args, out) -> None:
 
 
 def _cmd_submit(args, out) -> int:
+    base = getattr(args, "base", None)
     request = AllocationRequest(
         id=f"cli-{uuid.uuid4().hex[:12]}",
         ir=_read_text(args.file) if args.file else None,
@@ -367,6 +373,8 @@ def _cmd_submit(args, out) -> int:
         allocator=args.allocator,
         machine=MachineSpec(regs=args.regs),
         deadline_s=args.deadline,
+        base_digest=(None if base is None
+                     else ("" if base == "new" else base)),
     )
     client = ServiceClient(args.host, args.port)
     response = client.allocate(request)
@@ -381,6 +389,8 @@ def _cmd_submit(args, out) -> int:
         flags.append("cached")
     if response.degraded:
         flags.append(f"degraded->{response.effective_allocator}")
+    if response.session_digest:
+        flags.append(f"session {response.session_digest}")
     print(f"{response.effective_allocator}: "
           f"moves {stats['moves_eliminated']}/{stats['moves_before']}, "
           f"spills {stats['spill_instructions']}, "

@@ -72,6 +72,11 @@ def add_cluster_parser(sub, allocator_choices, benchmark_names) -> None:
     submit.add_argument("--allocator", choices=sorted(allocator_choices),
                         default="full")
     submit.add_argument("--regs", type=int, default=24)
+    submit.add_argument("--base", default=None, metavar="TOKEN",
+                        help="send an allocate_delta request: TOKEN is "
+                             "the session_digest of the previous "
+                             "response ('new' starts a fresh edit "
+                             "chain); requires --file")
     submit.add_argument("--deadline", type=float, default=None,
                         help="seconds before the cluster may degrade "
                              "the allocator")

@@ -7,7 +7,11 @@ oblivious that a cluster, not a single server, is answering.  Each
 caches on, and the digest picks the home shard (``digest % N``), so one
 request's repeats always land on one shard and its local L1 cache does
 the work; the shared cache-peer tier catches cross-shard lookups after
-re-routes and hedges.  The raw request line is forwarded byte-for-byte
+re-routes and hedges.  ``allocate_delta`` lines route by their *session
+token* (``base``) instead — the token stays constant along an edit
+chain, so a keystroke stream stays pinned to the shard holding its
+retained sessions without the router ever parsing the edited body.  The
+raw request line is forwarded byte-for-byte
 (no re-encode) and the shard's response line is returned unchanged.
 
 Three resilience mechanisms compose around that straight path:
@@ -318,22 +322,33 @@ class ClusterRouter:
                 request.allocator,
             )
 
-        loop = asyncio.get_event_loop()
-        t0 = time.perf_counter()
-        try:
-            digest = await loop.run_in_executor(
-                None, self._digest_for, request)
-        except Exception as err:
-            self.metrics.inc("responses_error")
-            return _error_payload(request_id, str(err), request.allocator)
-        self.metrics.observe("digest", time.perf_counter() - t0)
+        if request.base_digest:
+            # Edit-chain affinity: the session token itself is the
+            # routing key, so every keystroke of one stream keeps
+            # landing on the shard holding its sessions (the shard
+            # stores the advanced session back under the client's
+            # token).  No parse, no digest memo, no cache hint — the
+            # delta path is served from the session store.
+            digest = request.base_digest
+            rewired = dict(message)
+        else:
+            loop = asyncio.get_event_loop()
+            t0 = time.perf_counter()
+            try:
+                digest = await loop.run_in_executor(
+                    None, self._digest_for, request)
+            except Exception as err:
+                self.metrics.inc("responses_error")
+                return _error_payload(request_id, str(err),
+                                      request.allocator)
+            self.metrics.observe("digest", time.perf_counter() - t0)
 
-        # The digest IS the shard's cache key; forwarding it lets the
-        # shard skip re-normalizing the module on its hit path (router
-        # and shards are one trust domain — the digest was computed
-        # with the shard's own fingerprint function).
-        rewired = dict(message)
-        rewired["fingerprint_hint"] = digest
+            # The digest IS the shard's cache key; forwarding it lets
+            # the shard skip re-normalizing the module on its hit path
+            # (router and shards are one trust domain — the digest was
+            # computed with the shard's own fingerprint function).
+            rewired = dict(message)
+            rewired["fingerprint_hint"] = digest
         # Overload (all shards past the soft watermark): degrade one
         # rung at the router, exactly the scheduler's ladder.
         router_degraded = False
@@ -514,7 +529,7 @@ class ClusterServer:
             self.request_shutdown()
             return {"type": "shutdown", "protocol": PROTOCOL_VERSION,
                     "ok": True}
-        if kind != "allocate":
+        if kind not in ("allocate", "allocate_delta"):
             return {"type": "error", "protocol": PROTOCOL_VERSION,
                     "error": f"unknown message type {kind!r}"}
         return await self.router.route(message, line)

@@ -135,7 +135,8 @@ def _allocate_one(
     round0 = None
     if options.reuse_analyses:
         round0 = round0_analyses(prepared_func, options.incremental)
-    result = allocate_function(func, machine, allocator, options=options)
+    result = allocate_function(func, machine, allocator, options=options,
+                               round0=round0)
     if options.verify:
         verify_allocation(func, machine)
     return result, estimate_cycles(func, machine)

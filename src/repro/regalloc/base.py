@@ -17,6 +17,7 @@ import warnings
 from dataclasses import dataclass, field, replace
 
 from repro.analysis.incremental import (
+    apply_function_delta,
     apply_spill_delta,
     compare_analyses,
     parse_incremental,
@@ -87,6 +88,12 @@ class AllocationOptions:
     #: "off" rebuilds from scratch, "validate" runs both and raises on
     #: divergence.
     incremental: str = "on"
+    #: edit-driven re-allocation (the session layer,
+    #: :mod:`repro.service.session`): "on" patches retained analyses
+    #: through the edit delta, "off" rebuilds every session from
+    #: scratch, "validate" runs both paths and raises unless the
+    #: results are byte-identical.
+    incremental_edits: str = "on"
     deadline_ms: float | None = None
     #: service disk-cache directory (None = ~/.cache/repro); carried
     #: here so ``$REPRO_CACHE_DIR`` has exactly one reader, but not
@@ -103,6 +110,11 @@ class AllocationOptions:
                 f"incremental must be one of {_INCREMENTAL_MODES}, "
                 f"got {self.incremental!r}"
             )
+        if self.incremental_edits not in _INCREMENTAL_MODES:
+            raise ValueError(
+                f"incremental_edits must be one of {_INCREMENTAL_MODES}, "
+                f"got {self.incremental_edits!r}"
+            )
         if self.deadline_ms is not None:
             if not isinstance(self.deadline_ms, (int, float)) or isinstance(
                 self.deadline_ms, bool
@@ -113,16 +125,20 @@ class AllocationOptions:
 
     @classmethod
     def from_env(cls, environ=None, **overrides) -> "AllocationOptions":
-        """Defaults with the two documented environment variables folded
-        in: ``REPRO_INCREMENTAL_ROUNDS`` -> ``incremental`` and
+        """Defaults with the documented environment variables folded
+        in: ``REPRO_INCREMENTAL_ROUNDS`` -> ``incremental``,
+        ``REPRO_INCREMENTAL_EDITS`` -> ``incremental_edits``, and
         ``REPRO_CACHE_DIR`` -> ``cache_dir``.  Explicit ``overrides``
-        win over both.  This is the *only* place the library reads
+        win over all.  This is the *only* place the library reads
         those variables.
         """
         env = os.environ if environ is None else environ
         values = {
             "incremental": parse_incremental(
                 env.get("REPRO_INCREMENTAL_ROUNDS", "1")
+            ),
+            "incremental_edits": parse_incremental(
+                env.get("REPRO_INCREMENTAL_EDITS", "1")
             ),
             "cache_dir": env.get("REPRO_CACHE_DIR") or None,
         }
@@ -134,7 +150,8 @@ class AllocationOptions:
 
     #: fields serialized onto the service wire (cache_dir is local).
     WIRE_FIELDS = ("max_rounds", "rematerialize", "verify", "jobs",
-                   "reuse_analyses", "incremental", "deadline_ms")
+                   "reuse_analyses", "incremental", "incremental_edits",
+                   "deadline_ms")
 
     def to_dict(self) -> dict:
         """JSON-safe wire form (``deadline_ms: None`` is omitted)."""
@@ -269,6 +286,30 @@ class RoundAnalyses:
         return RoundAnalyses(
             cfg=self.cfg, loops=self.loops, liveness=patched.liveness,
             ig=patched.ig, spill_costs=patched.spill_costs,
+            block_rows=patched.block_rows, block_costs=patched.block_costs,
+        )
+
+    def apply_edit_delta(self, func: Function,
+                         fdelta) -> "RoundAnalyses | None":
+        """These analyses patched through a source-edit delta.
+
+        ``func`` is the new version of the analyzed function, already
+        prepared and renumbered; ``fdelta`` a renumbered-mode
+        :class:`~repro.ir.diff.FunctionDelta` of the analyzed function
+        against ``func``.  The CFG and loop nest carry over unless the
+        edit changed the edge set, in which case the patcher rebuilt
+        them.  Returns ``None`` when a patch precondition fails or the
+        delta touches too much of the function — the caller falls back
+        to :func:`compute_round_analyses`.
+        """
+        patched = apply_function_delta(func, self, fdelta)
+        if patched is None:
+            return None
+        return RoundAnalyses(
+            cfg=patched.cfg if patched.cfg is not None else self.cfg,
+            loops=patched.loops if patched.loops is not None else self.loops,
+            liveness=patched.liveness, ig=patched.ig,
+            spill_costs=patched.spill_costs,
             block_rows=patched.block_rows, block_costs=patched.block_costs,
         )
 
@@ -418,6 +459,7 @@ def allocate_function(
     options: AllocationOptions | None = None,
     *,
     round0: RoundAnalyses | None = None,
+    assume_renumbered: bool = False,
     max_rounds: int | None = None,
     rematerialize: bool | None = None,
 ) -> AllocationResult:
@@ -439,6 +481,12 @@ def allocate_function(
     (:meth:`RoundAnalyses.apply_delta`), falling back to a from-scratch
     re-analysis; ``options.incremental="off"`` forces the fallback and
     ``"validate"`` runs both paths, raising on any divergence.
+
+    ``assume_renumbered=True`` skips the round-0 renumber: the caller
+    vouches that ``func`` is already in renumbered form (a clone of —
+    or value-identical to — the function ``round0`` analyzed).  The
+    session layer uses this to keep a patched clone's names aligned
+    with its retained analyses; spill rounds still renumber normally.
     """
     options = _resolve_options(
         options, max_rounds=max_rounds, rematerialize=rematerialize
@@ -464,13 +512,17 @@ def allocate_function(
     delta: SpillDelta | None = None
     for round_index in range(max_rounds):
         stats.rounds = round_index + 1
-        with phase("renumber"):
-            # The CFG never changes across spill rounds; hand the
-            # previous round's to renumber so it skips a rebuild.
-            ren = renumber(
-                func,
-                cfg=prev_analyses.cfg if prev_analyses is not None else None,
-            )
+        if round_index == 0 and assume_renumbered:
+            ren = None  # only consumed by spill rounds, which renumber
+        else:
+            with phase("renumber"):
+                # The CFG never changes across spill rounds; hand the
+                # previous round's to renumber so it skips a rebuild.
+                ren = renumber(
+                    func,
+                    cfg=prev_analyses.cfg
+                    if prev_analyses is not None else None,
+                )
         analyses = None
         if round_index == 0 and round0 is not None:
             ig = round0.ig_for(func)

@@ -76,6 +76,12 @@ class ServiceMetrics:
             "rejected_total": 0,
             "batches_total": 0,
             "worker_deadline_kills": 0,
+            "delta_requests": 0,
+            "session_hits": 0,
+            "session_misses": 0,
+            "session_patches_value": 0,
+            "session_patches_struct": 0,
+            "session_rebuilds": 0,
         }
         self.queue_depth = 0
         self.queue_depth_max = 0
@@ -121,11 +127,23 @@ class ServiceMetrics:
         total = hits + self.counters["cache_misses"]
         return hits / total if total else 0.0
 
+    @property
+    def session_hit_ratio(self) -> float:
+        hits = self.counters["session_hits"]
+        total = hits + self.counters["session_misses"]
+        return hits / total if total else 0.0
+
     def snapshot(self) -> dict:
         with self._lock:
             return {
                 "counters": dict(self.counters),
                 "cache_hit_ratio": round(self.cache_hit_ratio, 4),
+                "session_hit_ratio": round(
+                    self.counters["session_hits"]
+                    / (self.counters["session_hits"]
+                       + self.counters["session_misses"])
+                    if (self.counters["session_hits"]
+                        + self.counters["session_misses"]) else 0.0, 4),
                 "queue_depth": self.queue_depth,
                 "queue_depth_max": self.queue_depth_max,
                 "latency": {

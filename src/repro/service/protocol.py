@@ -45,6 +45,10 @@ __all__ = [
 #: v2: requests carry a serialized :class:`AllocationOptions` under
 #: ``options`` (v1 requests are still accepted and get defaulted
 #: options; v1 ``verify``/``deadline_s`` keep working as views).
+#: v2 also admits the ``allocate_delta`` message type (``base`` session
+#: token + new ``ir`` body) and responses may carry ``session_digest``;
+#: both are additive, so the version number is unchanged — old peers
+#: simply never send the type.
 PROTOCOL_VERSION = 2
 
 #: Versions the server still parses.
@@ -133,6 +137,12 @@ class AllocationRequest:
     #: the shard skip re-normalizing the module on its cache-hit path.
     #: Never part of the fingerprint itself.
     fingerprint_hint: str | None = None
+    #: non-None makes this an ``allocate_delta`` request (v2 extension):
+    #: ``ir`` is the *new* body and the string is the session token of
+    #: the edit chain (the ``session_digest`` of the previous response;
+    #: empty string starts a fresh chain).  An unknown token degrades
+    #: gracefully to a from-scratch build that primes the session.
+    base_digest: str | None = None
 
     def __post_init__(self) -> None:
         if self.options is None:
@@ -176,10 +186,21 @@ class AllocationRequest:
             self.deadline_s, (int, float)
         ):
             raise ServiceError("deadline_s must be a number (seconds)")
+        if self.base_digest is not None:
+            if self.protocol < 2:
+                raise ServiceError(
+                    "allocate_delta requires protocol >= 2"
+                )
+            if self.ir is None:
+                raise ServiceError(
+                    "allocate_delta requires 'ir' (the new module body); "
+                    "'bench' cannot carry an edit stream"
+                )
 
     def to_wire(self) -> dict:
         wire = {
-            "type": "allocate",
+            "type": "allocate" if self.base_digest is None
+            else "allocate_delta",
             "protocol": self.protocol,
             "id": self.id,
             "allocator": self.allocator,
@@ -198,6 +219,8 @@ class AllocationRequest:
             wire["options"] = self.options.to_dict()
         if self.protocol >= 2 and self.fingerprint_hint:
             wire["fingerprint_hint"] = self.fingerprint_hint
+        if self.base_digest is not None:
+            wire["base"] = self.base_digest
         return wire
 
     @classmethod
@@ -213,6 +236,10 @@ class AllocationRequest:
         # A garbled hint from a misbehaving proxy must not fail the
         # request — it is a hit-path shortcut, never load-bearing.
         hint = wire.get("fingerprint_hint")
+        base_digest = None
+        if wire.get("type") == "allocate_delta":
+            base = wire.get("base", "")
+            base_digest = base if isinstance(base, str) else ""
         req = cls(
             id=str(wire.get("id", "")),
             ir=wire.get("ir"),
@@ -224,6 +251,7 @@ class AllocationRequest:
             options=options,
             protocol=wire.get("protocol", PROTOCOL_VERSION),
             fingerprint_hint=hint if isinstance(hint, str) and hint else None,
+            base_digest=base_digest,
         )
         req.validate()
         return req
@@ -254,6 +282,11 @@ class AllocationResponse:
     error: str = ""
     #: per-phase wall seconds (volatile; excluded from the digest)
     timings: dict = field(default_factory=dict)
+    #: ``allocate_delta`` only: the edit chain's session token — echo it
+    #: as ``base`` on the next edit.  Volatile metadata like ``timings``:
+    #: excluded from the result payload, so delta responses stay
+    #: digest-identical to full-path responses for the same IR.
+    session_digest: str = ""
     protocol: int = PROTOCOL_VERSION
 
     def result_payload(self) -> dict:
@@ -290,6 +323,7 @@ class AllocationResponse:
             "cycles": self.cycles,
             "error": self.error,
             "timings": self.timings,
+            "session_digest": self.session_digest,
         }
 
     @classmethod
@@ -310,6 +344,7 @@ class AllocationResponse:
             cycles=wire.get("cycles", {}),
             error=wire.get("error", ""),
             timings=wire.get("timings", {}),
+            session_digest=wire.get("session_digest", ""),
             protocol=wire.get("protocol", PROTOCOL_VERSION),
         )
 
@@ -318,7 +353,8 @@ class AllocationResponse:
 
     def for_cache(self) -> "AllocationResponse":
         """A copy stripped of per-request metadata, safe to share."""
-        return replace(self, id="", cached=False, timings={})
+        return replace(self, id="", cached=False, timings={},
+                       session_digest="")
 
     @classmethod
     def error_response(cls, request_id: str, message: str,

@@ -57,6 +57,7 @@ from repro.service.protocol import (
     cycles_to_dict,
     stats_to_dict,
 )
+from repro.service.session import SessionStore, execute_delta_request
 from repro.workloads import make_benchmark
 
 __all__ = [
@@ -97,6 +98,16 @@ DEGRADATION_LADDER = {
 
 def degrade_for(allocator: str) -> str:
     return DEGRADATION_LADDER.get(allocator, "chaitin")
+
+
+#: session ladder rung -> metrics counter (``new`` is a scratch build
+#: too — the function had no retained session to advance).
+_SESSION_RUNG_COUNTERS = {
+    "value": "session_patches_value",
+    "struct": "session_patches_struct",
+    "new": "session_rebuilds",
+    "rebuild": "session_rebuilds",
+}
 
 
 def resolve_module(request: AllocationRequest) -> Module:
@@ -194,6 +205,7 @@ class Scheduler:
         batch_size: int = 8,
         overload_watermark: int | None = None,
         prepared_cache_size: int = 32,
+        session_store_size: int = 32,
         fault_plan: FaultPlan | None = None,
     ):
         self.cache = cache
@@ -220,6 +232,8 @@ class Scheduler:
             else max(2, (max_queue * 3) // 4)
         )
         self._queue: "queue.Queue[_Job]" = queue.Queue(maxsize=max_queue)
+        #: retained edit sessions for the ``allocate_delta`` path
+        self.sessions = SessionStore(capacity=session_store_size)
         self._prepared: dict[str, tuple] = {}
         self._prepared_cache_size = max(1, prepared_cache_size)
         self._stop = threading.Event()
@@ -305,6 +319,8 @@ class Scheduler:
         wait_s = started - job.submitted_at
         self.metrics.observe("wait", wait_s)
         timings = {"wait_s": round(wait_s, 6)}
+        if request.base_digest is not None:
+            return self._process_delta(job, timings)
         try:
             # A routing tier that already computed the content digest
             # (and is trusted to have used the same fingerprint
@@ -403,6 +419,63 @@ class Scheduler:
                 self.metrics.inc("degraded_total")
             elif self.cache is not None:
                 self.cache.put(fingerprint, response)
+            self.metrics.inc("responses_ok")
+        except ReproError as err:
+            self.metrics.inc("responses_error")
+            response = AllocationResponse.error_response(
+                request.id, str(err), request.allocator)
+        except Exception as err:  # never kill the worker
+            self.metrics.inc("responses_error")
+            response = AllocationResponse.error_response(
+                request.id, f"internal error: {type(err).__name__}: {err}",
+                request.allocator)
+        total = perf_counter() - job.submitted_at
+        timings["total_s"] = round(total, 6)
+        response.timings = timings
+        self.metrics.observe("total", total)
+        return response
+
+    def _process_delta(self, job: _Job, timings: dict) -> AllocationResponse:
+        """The ``allocate_delta`` path: session store instead of cache.
+
+        Delta responses carry a session token and are never written to
+        the content-addressed cache — the session store *is* their
+        reuse tier (every keystroke changes the content digest, so the
+        cache could only ever hit on a verbatim repeat).  Deadline and
+        overload degradation mirror the full path.
+        """
+        request = job.request
+        self.metrics.inc("delta_requests")
+        try:
+            run_options = request.options.replace(jobs=self.jobs)
+            effective = request.allocator
+            if request.deadline_s is not None and (
+                perf_counter() - job.submitted_at
+            ) > request.deadline_s:
+                self.metrics.inc("deadline_misses")
+                effective = degrade_for(request.allocator)
+                run_options = run_options.replace(deadline_ms=None)
+            elif job.overloaded:
+                effective = degrade_for(request.allocator)
+            t0 = perf_counter()
+            info: dict = {}
+            with profiled() as prof:
+                response = execute_delta_request(
+                    request, self.sessions, run_options,
+                    effective_allocator=effective, info=info,
+                )
+            self.metrics.record_phases(prof.snapshot())
+            timings["allocate_s"] = round(perf_counter() - t0, 6)
+            self.metrics.observe("allocate", timings["allocate_s"])
+            self.metrics.inc("session_hits" if info.get("base_hit")
+                             else "session_misses")
+            for rung, count in info.get("paths", {}).items():
+                self.metrics.inc(
+                    _SESSION_RUNG_COUNTERS.get(rung, "session_rebuilds"),
+                    by=count,
+                )
+            if response.degraded:
+                self.metrics.inc("degraded_total")
             self.metrics.inc("responses_ok")
         except ReproError as err:
             self.metrics.inc("responses_error")

@@ -38,7 +38,11 @@ __all__ = [
 #: stats/final snapshot) and ``stats`` documents are guaranteed to carry
 #: every :data:`SERVICE_COUNTERS` counter plus the ``worker_pool`` and
 #: ``alloc_phases`` sections.
-SCHEMA_VERSION = 2
+#: v3: ``allocation`` documents carry ``session_digest`` (the
+#: ``allocate_delta`` edit-chain token, empty off the delta path) and
+#: the counter contract gains the ``delta_requests`` / ``session_*``
+#: family plus the ``session_hit_ratio`` metrics field.
+SCHEMA_VERSION = 3
 
 #: Every ``type`` tag this module can emit.
 SCHEMA_TYPES = ("allocation", "comparison", "stats", "final_stats",
@@ -58,6 +62,12 @@ SERVICE_COUNTERS = (
     "rejected_total",
     "batches_total",
     "worker_deadline_kills",
+    "delta_requests",
+    "session_hits",
+    "session_misses",
+    "session_patches_value",
+    "session_patches_struct",
+    "session_rebuilds",
 )
 
 

@@ -5,6 +5,9 @@ dispatched on their ``type`` field:
 
 * ``allocate`` (default) — an :class:`AllocationRequest`; answered with
   an :class:`AllocationResponse` line once the scheduler finishes it.
+* ``allocate_delta`` — the edit-stream variant (session token + new
+  body); same request/response classes, served by the scheduler's
+  session store instead of the content-addressed cache.
 * ``ping`` — liveness probe, answered with ``{"type": "pong"}``.
 * ``stats`` — scheduler/cache/metrics snapshot.
 * ``shutdown`` — acknowledge, then stop the server (the final metrics
@@ -42,7 +45,7 @@ __all__ = ["AllocationServer", "ServerThread", "serve_stdio"]
 def _dispatch_control(message: dict, scheduler: Scheduler) -> dict | None:
     """Handle non-allocate message types; None means 'allocate'."""
     kind = message.get("type", "allocate")
-    if kind == "allocate":
+    if kind in ("allocate", "allocate_delta"):
         return None
     if kind == "ping":
         return {"type": "pong", "protocol": PROTOCOL_VERSION}

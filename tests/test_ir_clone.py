@@ -51,6 +51,64 @@ class TestCloneFunction:
         assert len(orig_calls[0].args) != len(copy_calls[0].args)
 
 
+class TestClonePrintByteIdentity:
+    """clone -> print must be byte-identical to the original print."""
+
+    def test_paired_loads_print_identical(self):
+        from repro.core.pairs import find_paired_loads
+        from repro.ir.function import BasicBlock, Function
+        from repro.ir.instructions import Load, Ret
+
+        func = Function("pairs", params=[VReg(0)], blocks=[BasicBlock("e", [
+            Load(VReg(1), VReg(0), 0),
+            Load(VReg(2), VReg(0), 4),
+            Load(VReg(3), VReg(0), 64, width="byte"),
+            Ret(VReg(1)),
+        ])])
+        func.returns_value = True
+        copy = clone_function(func)
+        assert print_function(copy) == print_function(func)
+        # The clone's pair candidates are its own instructions, and the
+        # group structure (who pairs with whom) is preserved.
+        orig_pairs = find_paired_loads(func)
+        copy_pairs = find_paired_loads(copy)
+        assert len(orig_pairs) == len(copy_pairs) == 1
+        assert copy_pairs[0].first is copy.entry.instrs[0]
+        assert copy_pairs[0].second is not orig_pairs[0].second
+
+    def test_lowered_call_and_ret_print_identical(self):
+        """Calls/rets carry reg_uses/reg_defs after lowering; the clone
+        must reproduce them byte-for-byte and own fresh lists."""
+        from repro.ir.instructions import Call, Ret
+        from repro.pipeline import prepare_function
+        from repro.target import make_machine
+
+        func = build_call_heavy()
+        prepare_function(func, make_machine(8))
+        copy = clone_function(func)
+        assert print_function(copy) == print_function(func)
+        for (_, a), (_, b) in zip(func.instructions(), copy.instructions()):
+            if isinstance(a, Call):
+                assert a.reg_uses == b.reg_uses
+                assert a.reg_defs == b.reg_defs
+                assert a.reg_uses is not b.reg_uses
+                assert a.reg_defs is not b.reg_defs
+            if isinstance(a, Ret):
+                assert a.reg_uses == b.reg_uses
+                assert a.reg_uses is not b.reg_uses
+
+    def test_prepared_benchmark_print_identical(self):
+        from repro.pipeline import prepare_module
+        from repro.target import middle_pressure
+        from repro.workloads import make_benchmark
+
+        machine = middle_pressure()
+        prepared = prepare_module(make_benchmark("compress"), machine)
+        for func in prepared.functions:
+            assert print_function(clone_function(func)) \
+                == print_function(func)
+
+
 class TestCloneModule:
     def test_all_functions_cloned(self):
         module = Module("m")

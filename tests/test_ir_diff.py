@@ -1,0 +1,224 @@
+"""Structural differ: raw/renumbered classification and the rename map."""
+
+from types import SimpleNamespace
+
+from repro.ir.diff import FunctionDelta, ValueEdit, diff_functions
+from repro.ir.parser import parse_function
+from repro.ir.values import Const, VReg
+
+
+def parse(body: str, header: str = "func f(%p0, %p1) -> value"):
+    return parse_function(f"{header} {{\n{body}\n}}")
+
+
+BASE = """entry:
+  %v2 = 10
+  %v3 = add %p0, 1
+  branch %v3, then, exit
+then:
+  %v4 = load [%p0+8]
+  store [%p1+4] = %v4
+  jump exit
+exit:
+  ret %v2"""
+
+
+def diff_raw(new_body: str, base_body: str = BASE) -> FunctionDelta:
+    return diff_functions(parse(base_body), parse(new_body))
+
+
+class TestRawTransparent:
+    def test_identical(self):
+        delta = diff_raw(BASE)
+        assert delta.identical and delta.transparent and delta.consistent
+        assert not delta.value_edits
+        # Survivors expose the identity rename over the matched region.
+        base = parse(BASE)
+        v2 = base.blocks[0].instrs[0].dst
+        assert delta.rename[v2] == v2
+        assert not delta.new_vregs and not delta.deleted_vregs
+
+    def test_const_inst_value(self):
+        delta = diff_raw(BASE.replace("%v2 = 10", "%v2 = 99"))
+        assert delta.transparent and not delta.identical
+        assert delta.value_edits == (
+            ValueEdit("entry", 0, "value", 99, 10),)
+
+    def test_binop_const_operand(self):
+        delta = diff_raw(BASE.replace("add %p0, 1", "add %p0, 7"))
+        (edit,) = delta.value_edits
+        assert delta.transparent
+        assert (edit.label, edit.index, edit.attr) == ("entry", 1, "rhs")
+        assert edit.new == Const(7) and edit.old == Const(1)
+
+    def test_opcode_swap(self):
+        delta = diff_raw(BASE.replace("add %p0, 1", "sub %p0, 1"))
+        (edit,) = delta.value_edits
+        assert delta.transparent
+        assert (edit.attr, edit.new, edit.old) == ("op", "sub", "add")
+
+    def test_load_offset(self):
+        delta = diff_raw(BASE.replace("load [%p0+8]", "load [%p0+12]"))
+        (edit,) = delta.value_edits
+        assert delta.transparent
+        assert (edit.label, edit.attr, edit.new) == ("then", "offset", 12)
+
+    def test_store_offset(self):
+        delta = diff_raw(BASE.replace("[%p1+4]", "[%p1+16]"))
+        (edit,) = delta.value_edits
+        assert delta.transparent and edit.attr == "offset"
+
+    def test_multiple_edits_in_block_order(self):
+        new = BASE.replace("%v2 = 10", "%v2 = 0") \
+                  .replace("add %p0, 1", "add %p0, 2")
+        delta = diff_raw(new)
+        assert [e.index for e in delta.value_edits] == [0, 1]
+
+
+class TestRawStructural:
+    def test_register_operand_change_touches(self):
+        delta = diff_raw(BASE.replace("add %p0, 1", "add %p1, 1"))
+        assert delta.touched_blocks == {"entry"}
+        assert delta.structural and not delta.transparent
+        assert not delta.value_edits
+
+    def test_insertion_touches_via_length(self):
+        new = BASE.replace("  jump exit", "  %v9 = add %v4, 1\n  jump exit")
+        delta = diff_raw(new)
+        assert delta.touched_blocks == {"then"}
+        assert not delta.changed_edges
+        # The inserted def is fresh; %v4 lives only in the touched
+        # block, so it is conservatively dropped and rediscovered.
+        assert {r.name for r in delta.new_vregs} == {"v4", "v9"}
+        assert {r.name for r in delta.deleted_vregs} == {"v4"}
+
+    def test_deletion_touches(self):
+        new = BASE.replace("  store [%p1+4] = %v4\n", "")
+        delta = diff_raw(new)
+        assert delta.touched_blocks == {"then"}
+
+    def test_branch_target_change_flags_edges(self):
+        delta = diff_raw(BASE.replace("branch %v3, then, exit",
+                                      "branch %v3, exit, then"))
+        assert delta.changed_edges
+        assert "entry" in delta.touched_blocks
+
+    def test_added_block(self):
+        new = BASE.replace("jump exit", "jump extra") + \
+            "\nextra:\n  jump exit"
+        # Block order: parser appends 'extra' after 'exit'.
+        delta = diff_raw(new)
+        assert delta.added_blocks == {"extra"}
+        assert delta.changed_edges
+        assert "then" in delta.touched_blocks  # its target changed
+
+    def test_removed_block_is_structural(self):
+        new = """entry:
+  %v2 = 10
+  %v3 = add %p0, 1
+  branch %v3, exit, exit
+exit:
+  ret %v2"""
+        delta = diff_raw(new)
+        assert delta.removed_blocks == {"then"}
+        assert delta.changed_edges
+
+    def test_call_const_arg_not_transparent(self):
+        base = """entry:
+  %v2 = call helper(%p0, 1)
+  ret %v2"""
+        delta = diff_raw(base.replace("%p0, 1", "%p0, 2"), base)
+        assert delta.touched_blocks == {"entry"}
+        assert not delta.value_edits
+
+    def test_load_width_change_not_transparent(self):
+        delta = diff_raw(BASE.replace("load [%p0+8]", "load.b [%p0+8]"))
+        assert delta.touched_blocks == {"then"}
+
+    def test_param_mismatch_inconsistent(self):
+        base = parse(BASE)
+        new = parse(BASE, header="func f(%p0) -> value")
+        assert not diff_functions(base, new).consistent
+
+    def test_name_mismatch_inconsistent(self):
+        base = parse(BASE)
+        new = parse(BASE, header="func g(%p0, %p1) -> value")
+        assert not diff_functions(base, new).consistent
+
+
+class TestRenumberedPairing:
+    BASE = """entry:
+  %v2 = add %p0, %p1
+  %v3 = add %v2, 1
+  ret %v3"""
+    SHIFTED = """entry:
+  %v7 = add %p0, %p1
+  %v9 = add %v7, 1
+  ret %v9"""
+
+    def test_registers_pair_positionally(self):
+        base, new = parse(self.BASE), parse(self.SHIFTED)
+        delta = diff_functions(base, new, pair_registers=True)
+        assert delta.transparent
+        v2 = base.blocks[0].instrs[0].dst
+        v7 = new.blocks[0].instrs[0].dst
+        assert delta.rename[v2] == v7
+        assert not delta.new_vregs and not delta.deleted_vregs
+
+    def test_constant_mismatch_is_touched_not_edit(self):
+        delta = diff_functions(
+            parse(self.BASE),
+            parse(self.SHIFTED.replace("add %v7, 1", "add %v7, 2")),
+            pair_registers=True)
+        assert delta.touched_blocks == {"entry"}
+        assert not delta.value_edits
+
+    def test_non_function_rename_inconsistent(self):
+        # %v2 would need to map to both %v7 and %v8.
+        base = parse("entry:\n  %v3 = add %v2, %v2\n  ret %v3",
+                     header="func f(%v2) -> value")
+        new = parse("entry:\n  %v9 = add %v7, %v8\n  ret %v9",
+                    header="func f(%v7) -> value")
+        # Params pair v2->v7; the rhs then demands v2->v8: conflict.
+        delta = diff_functions(base, new, pair_registers=True)
+        assert not delta.consistent
+
+    def test_non_injective_rename_inconsistent(self):
+        base = parse("entry:\n  %v4 = add %v2, %v3\n  ret %v4",
+                     header="func f(%v2, %v3) -> value")
+        new = parse("entry:\n  %v9 = add %v7, %v7\n  ret %v9",
+                    header="func f(%v7, %v7) -> value")
+        delta = diff_functions(base, new, pair_registers=True)
+        assert not delta.consistent
+
+    def test_touched_block_regs_counted_deleted_and_new(self):
+        base = parse(self.BASE)
+        new = parse(self.SHIFTED.replace("%v9 = add %v7, 1",
+                                         "%v9 = mul %v7, 1"))
+        delta = diff_functions(base, new, pair_registers=True)
+        assert delta.touched_blocks == {"entry"}
+        # Nothing pairs inside a touched block, so every vreg on each
+        # side (minus the paired params) is deleted/new respectively.
+        assert {r.name for r in delta.deleted_vregs} == {"v2", "v3"}
+        assert {r.name for r in delta.new_vregs} == {"v7", "v9"}
+
+
+class TestHelpers:
+    def test_touched_fraction(self):
+        delta = FunctionDelta(touched_blocks=frozenset({"a"}),
+                              added_blocks=frozenset({"b"}))
+        assert delta.touched_fraction(4) == 0.5
+        assert delta.touched_fraction(0) == 1.0
+
+    def test_from_spill(self):
+        v1, v2, v9 = VReg(1), VReg(2), VReg(9)
+        spill = SimpleNamespace(touched_blocks={"loop"},
+                                new_vregs={v9}, deleted_vregs={v2})
+        renumbering = SimpleNamespace(
+            webs=[SimpleNamespace(original=v1, reg=VReg(0))])
+        delta = FunctionDelta.from_spill(spill, renumbering)
+        assert delta.touched_blocks == frozenset({"loop"})
+        assert delta.rename == {v1: VReg(0)}
+        assert delta.new_vregs == frozenset({v9})
+        assert delta.deleted_vregs == frozenset({v2})
+        assert not delta.changed_edges and delta.consistent
