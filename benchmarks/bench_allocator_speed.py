@@ -39,6 +39,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 from conftest import ALLOCATORS, prepared_module
 
+from repro.config import runtime_knobs
 from repro.pipeline import allocate_module, prepare_module
 from repro.profiling import profiled
 from repro.regalloc import AllocationOptions
@@ -134,6 +135,7 @@ def run(bench: str, model: str, allocators: list[str], repeats: int,
         # Resolving the backend here also front-loads the (lazy) numpy
         # import, keeping it out of the profiled phase breakdowns.
         **dataflow_backend_fields(),
+        "knobs": runtime_knobs(),
         "git_commit": git_commit(),
         "hostname": socket.gethostname(),
         "baseline_full_s": BASELINE_FULL_S,

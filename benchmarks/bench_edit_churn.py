@@ -49,6 +49,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
+from repro.config import runtime_knobs
 from repro.ir.instructions import ConstInst
 from repro.ir.parser import parse_module
 from repro.ir.printer import print_module
@@ -225,6 +226,7 @@ def run(bench: str, regs: int, edits: int, struct_edits: int,
         "instructions": n_instrs,
         "python": sys.version.split()[0],
         **dataflow_backend_fields(),
+        "knobs": runtime_knobs(),
         "git_commit": git_commit(),
         "hostname": socket.gethostname(),
         "scratch": latency_summary(value_scratch),

@@ -45,6 +45,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
+from repro.config import runtime_knobs
 from repro.core import PreferenceDirectedAllocator
 from repro.ir.clone import clone_function
 from repro.ir.values import VReg
@@ -246,6 +247,7 @@ def main(argv=None) -> None:
         # Resolving the backend here also front-loads the (lazy) numpy
         # import, keeping it out of the profiled phase breakdowns.
         **dataflow_backend_fields(),
+        "knobs": runtime_knobs(),
         "git_commit": git_commit(),
         "hostname": socket.gethostname(),
         "workloads": [],

@@ -45,6 +45,16 @@ also carry ``fingerprints_identical`` and ``modes_identical`` — the
 bench asserts per-edit result digests match the scratch path in all
 ``incremental_edits`` modes, and those flags prove the assertions ran.
 
+``--policy`` gates ``BENCH_policy_tuning.json`` reports.  The tuner's
+measurements are *simulated* cycle totals — deterministic, so unlike
+every wall-clock gate they are compared for exact equality: per family
+the fresh default and tuned measurements must byte-match the committed
+report (a drift means allocator behavior changed and the preset's
+provenance is stale), the tuned side must not regress cycles on any
+family, at least one family must strictly improve, and the fresh
+report's best-policy digest must match the committed one (proving the
+committed ``tuned_v1`` preset is the policy the report describes).
+
 ``--cluster`` gates ``BENCH_cluster_throughput.json`` reports.  The
 comparable quantity is ``scaling_vs_single`` — each point's throughput
 relative to the 1-shard point *of the same run*, the cluster analog of
@@ -195,6 +205,53 @@ def check_edit(fresh: dict, committed: dict, tolerance: float) -> list[str]:
     return failures
 
 
+def check_policy(fresh: dict, committed: dict) -> list[str]:
+    """Gate a policy-tuning report: exact reproduction + no regression."""
+    for side, report in (("fresh", fresh), ("committed", committed)):
+        if report.get("type") != "policy_tuning":
+            raise SystemExit(
+                f"{side} report is not a policy_tuning report; "
+                "regenerate it with tune_policy.py"
+            )
+    failures = []
+    if "best" not in committed:
+        raise SystemExit("committed report carries no winning policy")
+    if fresh.get("best", {}).get("digest") != committed["best"]["digest"]:
+        failures.append(
+            "best-policy digest mismatch: fresh "
+            f"{fresh.get('best', {}).get('digest')!r} vs committed "
+            f"{committed['best']['digest']!r}"
+        )
+    improved = False
+    print(f"{'family':>12} {'default':>10} {'tuned':>10} {'delta':>8}")
+    for name, want in sorted(committed["families"].items()):
+        got = fresh["families"].get(name)
+        if got is None:
+            failures.append(f"{name}: family missing from fresh report")
+            continue
+        for side in ("default", "tuned"):
+            if got.get(side) != want.get(side):
+                failures.append(
+                    f"{name}: fresh {side} measurement differs from "
+                    f"committed — allocator behavior drifted "
+                    f"(fresh {got.get(side)!r} vs {want.get(side)!r})"
+                )
+        base = got["default"]["cycles"]
+        tuned = got["tuned"]["cycles"]
+        print(f"{name:>12} {base:>10.0f} {tuned:>10.0f} "
+              f"{tuned - base:>+8.0f}")
+        if tuned > base:
+            failures.append(
+                f"{name}: tuned policy regresses cycles "
+                f"({tuned:.0f} > {base:.0f})"
+            )
+        if tuned < base:
+            improved = True
+    if not improved:
+        failures.append("tuned policy improves cycles on no family")
+    return failures
+
+
 def check_cluster(fresh: dict, committed: dict,
                   tolerance: float) -> list[str]:
     """Gate a cluster-throughput report against the committed baseline."""
@@ -275,13 +332,28 @@ def main(argv=None) -> int:
                         help="gate BENCH_edit_churn.json reports on the "
                              "incremental-vs-scratch speedup floor, the "
                              "committed speedup, and the exactness flags")
+    parser.add_argument("--policy", action="store_true",
+                        help="gate BENCH_policy_tuning.json reports on "
+                             "exact measurement reproduction, the "
+                             "no-regression rule, and the preset digest")
     args = parser.parse_args(argv)
-    if sum((args.selector, args.dataflow, args.cluster, args.edit)) > 1:
-        parser.error("--selector, --dataflow, --cluster and --edit are "
-                     "mutually exclusive")
+    if sum((args.selector, args.dataflow, args.cluster, args.edit,
+            args.policy)) > 1:
+        parser.error("--selector, --dataflow, --cluster, --edit and "
+                     "--policy are mutually exclusive")
 
     fresh = json.loads(args.fresh.read_text())
     committed = json.loads(args.committed.read_text())
+
+    if args.policy:
+        failures = check_policy(fresh, committed)
+        if failures:
+            print("\npolicy tuning gate FAILED:", file=sys.stderr)
+            for line in failures:
+                print(f"  - {line}", file=sys.stderr)
+            return 1
+        print("\npolicy tuning gate passed (exact reproduction)")
+        return 0
 
     if args.edit:
         failures = check_edit(fresh, committed, args.tolerance)

@@ -57,7 +57,6 @@ raise on any divergence — the property suites run under it).
 
 from __future__ import annotations
 
-import os
 from collections import deque
 from dataclasses import dataclass
 from typing import Iterable
@@ -73,6 +72,7 @@ from repro.analysis.liveness import LazySetsLiveness, Liveness, _block_masks
 from repro.analysis.renumber import RenumberResult
 from repro.cfg.analysis import CFG, build_cfg
 from repro.cfg.loops import LoopInfo, compute_loops
+from repro.config import knob_env
 from repro.errors import AllocationError
 from repro.ir.diff import FunctionDelta
 from repro.ir.function import Function
@@ -120,7 +120,7 @@ def incremental_mode() -> str:
     :meth:`repro.regalloc.base.AllocationOptions.from_env` reads the
     same variable).
     """
-    return parse_incremental(os.environ.get("REPRO_INCREMENTAL_ROUNDS", "1"))
+    return parse_incremental(knob_env("REPRO_INCREMENTAL_ROUNDS", "1"))
 
 
 def incremental_edits_mode() -> str:
@@ -129,7 +129,7 @@ def incremental_edits_mode() -> str:
     Same grammar as :func:`incremental_mode`; an explicit
     ``AllocationOptions.incremental_edits`` always wins.
     """
-    return parse_incremental(os.environ.get("REPRO_INCREMENTAL_EDITS", "1"))
+    return parse_incremental(knob_env("REPRO_INCREMENTAL_EDITS", "1"))
 
 
 @dataclass(eq=False)
@@ -614,7 +614,11 @@ def _apply_delta(
                     and prev.loops.freq(label) != loops.freq(label):
                 rescan = True
             if rescan:
-                local = block_spill_costs(blk, loops.freq(label))
+                # Re-weight with the policy the retained analyses were
+                # computed under, or patched and from-scratch costs
+                # would disagree for non-default policies.
+                local = block_spill_costs(blk, loops.freq(label),
+                                          prev.policy)
             else:
                 old_local = prev.block_costs.get(label)
                 if old_local is None:

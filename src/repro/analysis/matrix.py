@@ -36,10 +36,10 @@ installed (the CI no-numpy leg runs under it).
 
 from __future__ import annotations
 
-import os
 import warnings
 from collections import deque
 
+from repro.config import knob_env
 from repro.ir.instructions import Move, Phi
 from repro.ir.values import PReg, VReg
 
@@ -87,9 +87,10 @@ _warned_missing = False
 def _numpy():
     """The numpy module, or None when absent (or suppressed for tests)."""
     global _np, _np_checked
-    if "REPRO_NO_NUMPY" in os.environ and os.environ[
-        "REPRO_NO_NUMPY"
-    ].strip().lower() in {"1", "on", "true", "yes"}:
+    suppressed = knob_env("REPRO_NO_NUMPY")
+    if suppressed is not None and suppressed.strip().lower() in {
+        "1", "on", "true", "yes"
+    }:
         return None
     if not _np_checked:
         _np_checked = True
@@ -129,7 +130,7 @@ def dataflow_mode() -> str:
     without numpy warns once (``RuntimeWarning``) and falls back.
     """
     global _warned_missing
-    raw = os.environ.get("REPRO_DATAFLOW")
+    raw = knob_env("REPRO_DATAFLOW")
     if raw is None:
         return "numpy" if have_numpy() else "int"
     mode = parse_dataflow(raw)

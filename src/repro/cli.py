@@ -36,6 +36,7 @@ from repro.errors import ReproError, ServiceError
 from repro.ir.parser import parse_module
 from repro.ir.printer import print_function
 from repro.pipeline import allocate_module, prepare_module
+from repro.policy import load_policy
 from repro.profiling import profiled
 from repro.regalloc import AllocationOptions, allocate_function
 from repro.reporting import canonical_json
@@ -84,6 +85,8 @@ def build_parser() -> argparse.ArgumentParser:
                        default="full")
     alloc.add_argument("--regs", type=int, default=24,
                        help="registers per class (default 24)")
+    alloc.add_argument("--policy", default=None, metavar="FILE|PRESET",
+                       help="heuristic policy: a preset name (e.g. tuned_v1) or a Policy JSON file")
     alloc.add_argument("--profile", action="store_true",
                        help="print a per-phase wall-clock profile to stderr")
     alloc.add_argument("--json", action="store_true",
@@ -93,6 +96,8 @@ def build_parser() -> argparse.ArgumentParser:
                              help="run every allocator over an IR file")
     compare.add_argument("file", help="textual IR file ('-' for stdin)")
     compare.add_argument("--regs", type=int, default=24)
+    compare.add_argument("--policy", default=None, metavar="FILE|PRESET",
+                         help="heuristic policy: a preset name (e.g. tuned_v1) or a Policy JSON file")
     compare.add_argument("--profile", action="store_true",
                          help="print a per-phase wall-clock profile to stderr")
     compare.add_argument("--json", action="store_true",
@@ -101,6 +106,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser("bench", help="allocate a synthetic benchmark")
     bench.add_argument("name", choices=BENCHMARK_NAMES)
     bench.add_argument("--regs", type=int, default=16)
+    bench.add_argument("--policy", default=None, metavar="FILE|PRESET",
+                       help="heuristic policy: a preset name (e.g. tuned_v1) or a Policy JSON file")
     bench.add_argument("--profile", action="store_true",
                        help="print a per-phase wall-clock profile to stderr")
     bench.add_argument("--json", action="store_true",
@@ -139,6 +146,8 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--deadline", type=float, default=None,
                         help="seconds before the server may degrade "
                              "the allocator")
+    submit.add_argument("--policy", default=None, metavar="FILE|PRESET",
+                        help="heuristic policy: a preset name (e.g. tuned_v1) or a Policy JSON file")
     submit.add_argument("--base", default=None, metavar="TOKEN",
                         help="send an allocate_delta request: TOKEN is "
                              "the session_digest of the previous "
@@ -153,6 +162,9 @@ def build_parser() -> argparse.ArgumentParser:
                            help="fetch a running server's metrics")
     stats.add_argument("--host", default="127.0.0.1")
     stats.add_argument("--port", type=int, default=7421)
+    stats.add_argument("--knobs", action="store_true",
+                       help="print this process's strategy-knob settings "
+                            "(no server contacted)")
 
     sub.add_parser("example", help="replay the paper's Figure 7")
     sub.add_parser("targets", help="describe the register-usage models")
@@ -229,6 +241,21 @@ def _read_module(path: str):
     return parse_module(_read_text(path))
 
 
+def _policy_options(args) -> AllocationOptions | None:
+    """Options carrying ``--policy``, or None when it was not given.
+
+    None keeps every call site on its historical default-options path —
+    the flag's absence must not perturb anything.
+    """
+    spec = getattr(args, "policy", None)
+    if spec is None:
+        return None
+    try:
+        return AllocationOptions.from_env(policy=load_policy(spec))
+    except (ValueError, OSError) as err:
+        raise ReproError(f"--policy: {err}") from err
+
+
 def _cmd_alloc(args, out) -> int:
     if args.json:
         # One-shot direct run: a fixed id keeps the output deterministic
@@ -238,6 +265,7 @@ def _cmd_alloc(args, out) -> int:
             ir=_read_text(args.file),
             allocator=args.allocator,
             machine=MachineSpec(regs=args.regs),
+            options=_policy_options(args),
         )
         response = execute_request(request)
         print(canonical_json(allocation_payload(response)), file=out)
@@ -246,7 +274,8 @@ def _cmd_alloc(args, out) -> int:
     module = _read_module(args.file)
     prepared = prepare_module(module, machine)
     run = allocate_module(prepared, machine,
-                          ALLOCATOR_CHOICES[args.allocator]())
+                          ALLOCATOR_CHOICES[args.allocator](),
+                          _policy_options(args))
     for result in run.results:
         print(print_function(result.func), file=out)
         print(file=out)
@@ -264,33 +293,36 @@ def _cmd_compare(args, out) -> None:
     machine = make_machine(args.regs)
     module = _read_module(args.file)
     prepared = prepare_module(module, machine)
+    options = _policy_options(args)
     if args.json:
-        print(_comparison_json(prepared, machine), file=out)
+        print(_comparison_json(prepared, machine, options=options),
+              file=out)
         return
-    _comparison_table(prepared, machine, out)
+    _comparison_table(prepared, machine, out, options)
 
 
 def _cmd_bench(args, out) -> None:
     machine = make_machine(args.regs)
     module = make_benchmark(args.name)
     prepared = prepare_module(module, machine)
+    options = _policy_options(args)
     if args.json:
-        print(_comparison_json(prepared, machine, bench=args.name),
-              file=out)
+        print(_comparison_json(prepared, machine, bench=args.name,
+                               options=options), file=out)
         return
     print(f"benchmark {args.name}: {len(prepared.functions)} functions, "
           f"{prepared.instruction_count()} instructions, "
           f"{args.regs} regs/class", file=out)
-    _comparison_table(prepared, machine, out)
+    _comparison_table(prepared, machine, out, options)
 
 
-def _comparison_table(prepared, machine, out) -> None:
+def _comparison_table(prepared, machine, out, options=None) -> None:
     header = (f"{'allocator':20s} {'moves elim.':>12s} {'spills':>7s} "
               f"{'caller-save':>12s} {'paired':>7s} {'cycles':>9s}")
     print(header, file=out)
     print("-" * len(header), file=out)
     for name, factory in ALLOCATOR_CHOICES.items():
-        run = allocate_module(prepared, machine, factory())
+        run = allocate_module(prepared, machine, factory(), options)
         stats, cycles = run.stats, run.cycles
         print(f"{name:20s} "
               f"{stats.moves_eliminated:5d}/{stats.moves_before:<6d} "
@@ -300,13 +332,14 @@ def _comparison_table(prepared, machine, out) -> None:
               f"{cycles.total:9.0f}", file=out)
 
 
-def _comparison_json(prepared, machine, bench: str | None = None) -> str:
+def _comparison_json(prepared, machine, bench: str | None = None,
+                     options=None) -> str:
     """Every allocator's result in the service response schema."""
     from repro.service.protocol import AllocationResponse, machine_descriptor
 
     results = {}
     for name, factory in ALLOCATOR_CHOICES.items():
-        run = allocate_module(prepared, machine, factory())
+        run = allocate_module(prepared, machine, factory(), options)
         response = AllocationResponse(
             ok=True,
             allocator=name,
@@ -366,6 +399,11 @@ def _cmd_serve(args, out) -> None:
 
 def _cmd_submit(args, out) -> int:
     base = getattr(args, "base", None)
+    # An explicit options object silences the bare constructor knobs,
+    # so --deadline must ride inside it whenever --policy forces one.
+    options = _policy_options(args)
+    if options is not None and args.deadline is not None:
+        options = options.replace(deadline_ms=args.deadline * 1000.0)
     request = AllocationRequest(
         id=f"cli-{uuid.uuid4().hex[:12]}",
         ir=_read_text(args.file) if args.file else None,
@@ -373,6 +411,7 @@ def _cmd_submit(args, out) -> int:
         allocator=args.allocator,
         machine=MachineSpec(regs=args.regs),
         deadline_s=args.deadline,
+        options=options,
         base_digest=(None if base is None
                      else ("" if base == "new" else base)),
     )
@@ -400,6 +439,11 @@ def _cmd_submit(args, out) -> int:
 
 
 def _cmd_stats(args, out) -> None:
+    if getattr(args, "knobs", False):
+        from repro.config import runtime_knobs
+
+        print(canonical_json(runtime_knobs()), file=out)
+        return
     client = ServiceClient(args.host, args.port)
     print(canonical_json(client.stats()), file=out)
 

@@ -77,6 +77,9 @@ def add_cluster_parser(sub, allocator_choices, benchmark_names) -> None:
                              "the session_digest of the previous "
                              "response ('new' starts a fresh edit "
                              "chain); requires --file")
+    submit.add_argument("--policy", default=None, metavar="FILE|PRESET",
+                        help="heuristic policy: a preset name (e.g. "
+                             "tuned_v1) or a Policy JSON file")
     submit.add_argument("--deadline", type=float, default=None,
                         help="seconds before the cluster may degrade "
                              "the allocator")

@@ -167,6 +167,9 @@ class ClusterRouter:
             options.verify,
             options.max_rounds,
             options.rematerialize,
+            # None for the default policy — every pre-policy memo key
+            # stays byte-for-byte the same tuple.
+            None if options.policy.is_default() else options.policy.digest(),
         )
         with self._digest_lock:
             hit = self._digest_memo.get(key)
@@ -353,7 +356,8 @@ class ClusterRouter:
         # rung at the router, exactly the scheduler's ladder.
         router_degraded = False
         if self.health.overloaded():
-            effective = degrade_for(request.allocator)
+            effective = degrade_for(request.allocator,
+                                    request.options.policy)
             if effective != request.allocator:
                 router_degraded = True
                 rewired["allocator"] = effective

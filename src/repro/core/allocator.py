@@ -53,14 +53,15 @@ class PreferenceDirectedAllocator(Allocator):
         outcome = RoundOutcome()
         with phase("build-RPG"):
             costs = CostModel(ctx.func, ctx.machine, ctx.cfg, ctx.loops,
-                              ctx.liveness)
+                              ctx.liveness, policy=ctx.policy)
             rpg = build_rpg(ctx.func, ctx.machine, costs, self.config)
         trace = SelectionTrace() if self.keep_trace else None
 
         for rclass in ctx.classes():
             graph = ctx.graph(rclass)
             wig = graph.snapshot_active_adjacency()
-            simplification = simplify(graph, optimistic=True)
+            simplification = simplify(graph, optimistic=True,
+                                      policy=ctx.policy)
             with phase("CPG"):
                 if self.use_cpg:
                     cpg = build_cpg(graph, wig, simplification)
@@ -76,6 +77,7 @@ class PreferenceDirectedAllocator(Allocator):
                 optimistic=simplification.optimistic,
                 trace=trace,
                 active_memory_spill=self.config.volatility,
+                policy=ctx.policy,
             )
             selector.run()
             if self.post_coalesce:

@@ -33,6 +33,7 @@ from repro.cfg.loops import LoopInfo, compute_loops
 from repro.ir.function import Function
 from repro.ir.instructions import Call, Instruction, Load, Move, SpillLoad
 from repro.ir.values import PReg, VReg
+from repro.policy import DEFAULT_POLICY, Policy
 from repro.target.machine import TargetMachine
 
 __all__ = [
@@ -44,9 +45,11 @@ __all__ = [
 ]
 
 #: Appendix: Save_Restore_Cost(I) is always 3 (per frequency-weighted call
-#: crossing, volatile placement).
+#: crossing, volatile placement).  Canonical default of
+#: ``Policy.save_restore_cost``.
 SAVE_RESTORE_COST = 3
 #: Appendix: Callee_Save_Cost(V) is always 2 (non-volatile placement).
+#: Canonical default of ``Policy.callee_save_cost``.
 CALLEE_SAVE_COST = 2
 
 
@@ -97,9 +100,11 @@ class CostModel:
         cfg: CFG | None = None,
         loops: LoopInfo | None = None,
         liveness: Liveness | None = None,
+        policy: Policy = DEFAULT_POLICY,
     ):
         self.func = func
         self.machine = machine
+        self.policy = policy
         cfg = cfg or build_cfg(func)
         self.loops = loops or compute_loops(cfg)
         liveness = liveness or compute_liveness(func, cfg)
@@ -111,18 +116,26 @@ class CostModel:
         self._cross_count: dict[VReg, int] = {}
         self._freq_of_instr: dict[int, int] = {}
 
+        # Policy spill weights (defaults 2/1 make these exactly the
+        # historical ``2.0 * freq`` / ``1.0 * freq`` terms); the
+        # loop-depth exponent re-weights the *spill* terms only — op
+        # and call-crossing costs always use the raw frequency.
+        load_w = float(policy.spill_load_cost)
+        store_w = float(policy.spill_store_cost)
+        exponent = policy.loop_depth_exponent
         for blk in func.blocks:
             freq = self.loops.freq(blk.label)
+            sfreq = freq if exponent == 1.0 else float(freq) ** exponent
             for instr in blk.instrs:
                 self._freq_of_instr[id(instr)] = freq
                 cost = inst_cost(instr)
                 for u in instr.used_regs():
                     if isinstance(u, VReg):
-                        self._bump(self._spill, u, 2.0 * freq)
+                        self._bump(self._spill, u, load_w * sfreq)
                         self._bump(self._op, u, cost * freq)
                 for d in instr.defs():
                     if isinstance(d, VReg):
-                        self._bump(self._spill, d, 1.0 * freq)
+                        self._bump(self._spill, d, store_w * sfreq)
                         self._bump(self._op, d, cost * freq)
                 if isinstance(instr, Call):
                     crossing = self._after[id(instr)] - set(instr.defs())
@@ -161,8 +174,8 @@ class CostModel:
 
     def call_cost(self, v: VReg, volatile: bool) -> float:
         if volatile:
-            return SAVE_RESTORE_COST * self.cross_freq(v)
-        return float(CALLEE_SAVE_COST)
+            return self.policy.save_restore_cost * self.cross_freq(v)
+        return float(self.policy.callee_save_cost)
 
     # ------------------------------------------------------------------
     # preference strengths

@@ -56,6 +56,7 @@ from repro.core.rpg import (
 )
 from repro.errors import AllocationError
 from repro.ir.values import PReg, VReg
+from repro.policy import DEFAULT_POLICY, Policy
 from repro.regalloc.igraph import AllocGraph
 from repro.profiling import phase
 from repro.regalloc.select import order_colors_cached
@@ -116,8 +117,22 @@ class PreferenceSelector:
     #: ready-queue engine override: ``"on"``/``"off"``/``"validate"``;
     #: ``None`` reads the ``REPRO_SELECT_INDEX`` environment setting
     index_mode: str | None = None
+    #: heuristic knobs; only the ``select_*_weight`` fields matter here.
+    #: The all-1.0 default takes the historical unweighted key path,
+    #: keeping pick order (and heap entries) byte-identical.
+    policy: Policy = DEFAULT_POLICY
 
     def __post_init__(self) -> None:
+        if (self.policy.select_differential_weight == 1.0
+                and self.policy.select_spill_cost_weight == 1.0
+                and self.policy.select_id_weight == 1.0):
+            self._key_weights = None
+        else:
+            self._key_weights = (
+                self.policy.select_differential_weight,
+                self.policy.select_spill_cost_weight,
+                self.policy.select_id_weight,
+            )
         colors = self.graph.colors
         self._colors = colors
         self._color_bit: dict[PReg, int] = {
@@ -204,22 +219,35 @@ class PreferenceSelector:
         differential = self._diff_cache.get(node)
         if differential is None:
             differential = self._diff_cache[node] = self._differential(node)
-        return (differential, self.costs.spill_cost(node), -node.id)
+        weights = self._key_weights
+        if weights is None:
+            return (differential, self.costs.spill_cost(node), -node.id)
+        wd, ws, wi = weights
+        return (wd * differential, ws * self.costs.spill_cost(node),
+                wi * -node.id)
 
     def _choose_node(self, queue: set[VReg]) -> VReg:
         diff_cache = self._diff_cache
         spill_cost = self.costs.spill_cost
+        weights = self._key_weights
         best: VReg | None = None
         best_key: tuple | None = None
         for node in queue:
             differential = diff_cache.get(node)
             if differential is None:
                 differential = diff_cache[node] = self._differential(node)
-            key = (
-                differential,
-                spill_cost(node),
-                -node.id,
-            )
+            if weights is None:
+                key = (
+                    differential,
+                    spill_cost(node),
+                    -node.id,
+                )
+            else:
+                key = (
+                    weights[0] * differential,
+                    weights[1] * spill_cost(node),
+                    weights[2] * -node.id,
+                )
             if best_key is None or key > best_key:
                 best, best_key = node, key
         assert best is not None

@@ -34,7 +34,7 @@ _hits = 0
 _misses = 0
 
 
-def _content_key(func, machine, collect: bool) -> str:
+def _content_key(func, machine, collect: bool, policy) -> str:
     from repro.ir.printer import print_function
     from repro.reporting import canonical_json
     from repro.service.protocol import machine_descriptor
@@ -43,17 +43,20 @@ def _content_key(func, machine, collect: bool) -> str:
         print_function(func)
         + canonical_json(machine_descriptor(machine))
         + ("+deltas" if collect else "")
+        # Default policy adds nothing: keys (and so warm entries) are
+        # unchanged for all pre-policy traffic.
+        + ("" if policy.is_default() else "+policy:" + policy.digest())
     )
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
-def _warm_round0(func, machine, collect: bool):
+def _warm_round0(func, machine, collect: bool, policy):
     global _hits, _misses
     from repro.analysis.renumber import renumber
     from repro.ir.clone import clone_function
     from repro.regalloc.base import compute_round_analyses
 
-    key = _content_key(func, machine, collect)
+    key = _content_key(func, machine, collect, policy)
     cached = _ROUND0_CACHE.get(key)
     if cached is not None:
         _ROUND0_CACHE.move_to_end(key)
@@ -62,7 +65,8 @@ def _warm_round0(func, machine, collect: bool):
     _misses += 1
     ref = clone_function(func)
     renumber(ref)
-    analyses = compute_round_analyses(ref, collect_deltas=collect)
+    analyses = compute_round_analyses(ref, collect_deltas=collect,
+                                      policy=policy)
     _ROUND0_CACHE[key] = analyses
     while len(_ROUND0_CACHE) > _ROUND0_CACHE_MAX:
         _ROUND0_CACHE.popitem(last=False)
@@ -79,7 +83,8 @@ def run_alloc_job(payload):
     round0 = None
     if options.reuse_analyses:
         round0 = _warm_round0(func, machine,
-                              collect=options.incremental != "off")
+                              collect=options.incremental != "off",
+                              policy=options.policy)
     result = allocate_function(func, machine, allocator,
                                options=options, round0=round0)
     if options.verify:

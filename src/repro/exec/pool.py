@@ -54,6 +54,7 @@ import warnings
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro.config import KNOB_ENV_VARS, knob_env_snapshot
 from repro.errors import ReproError
 from repro.exec.faults import FaultPlan
 
@@ -81,16 +82,12 @@ DEFAULT_TASK = "repro.exec.alloctask:run_alloc_job"
 #: All of these only pick *how* results are computed, never *what* —
 #: a worker spawned before the parent changed one simply keeps the old
 #: strategy until it is respawned, which cannot change any result.
-STRATEGY_ENV_VARS = ("REPRO_DATAFLOW", "REPRO_NO_NUMPY",
-                     "REPRO_SELECT_INDEX")
+#: The canonical list lives in :mod:`repro.config`.
+STRATEGY_ENV_VARS = KNOB_ENV_VARS
 
 
 def _strategy_env_snapshot() -> dict[str, str]:
-    return {
-        name: os.environ[name]
-        for name in STRATEGY_ENV_VARS
-        if name in os.environ
-    }
+    return knob_env_snapshot()
 
 
 class WorkerPoolError(ReproError):

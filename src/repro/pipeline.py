@@ -43,6 +43,7 @@ from repro.regalloc.base import (
     allocate_function,
     compute_round_analyses,
 )
+from repro.policy import DEFAULT_POLICY, Policy
 from repro.profiling import phase
 from repro.regalloc.verify import verify_allocation
 from repro.sim.cycles import CycleReport, estimate_cycles
@@ -88,15 +89,19 @@ def prepare_module(module: Module, machine: TargetMachine) -> Module:
     return prepared
 
 
-#: prepared function -> round-0 analyses of a pristine renumbered clone.
-#: Keyed weakly so dropping a prepared module frees its analyses too.
-_round0_cache: "WeakKeyDictionary[Function, RoundAnalyses]" = (
+#: prepared function -> {policy digest -> round-0 analyses of a
+#: pristine renumbered clone}.  Keyed weakly so dropping a prepared
+#: module frees its analyses too; the inner key separates policies
+#: because spill costs (and so every structure built on them) are
+#: policy-weighted.
+_round0_cache: "WeakKeyDictionary[Function, dict[str, RoundAnalyses]]" = (
     WeakKeyDictionary()
 )
 
 
 def round0_analyses(prepared_func: Function,
-                    incremental: str | None = None) -> RoundAnalyses:
+                    incremental: str | None = None,
+                    policy: Policy = DEFAULT_POLICY) -> RoundAnalyses:
     """Memoized first-round analyses of one prepared function.
 
     Computed on a renumbered *reference clone* so the cached structures
@@ -115,12 +120,14 @@ def round0_analyses(prepared_func: Function,
     if incremental is None:
         incremental = incremental_mode()
     collect = incremental != "off"
-    cached = _round0_cache.get(prepared_func)
+    per_policy = _round0_cache.setdefault(prepared_func, {})
+    cached = per_policy.get(policy.digest())
     if cached is None or (collect and cached.block_rows is None):
         ref = clone_function(prepared_func)
         renumber(ref)
-        cached = compute_round_analyses(ref, collect_deltas=collect)
-        _round0_cache[prepared_func] = cached
+        cached = compute_round_analyses(ref, collect_deltas=collect,
+                                        policy=policy)
+        per_policy[policy.digest()] = cached
     return cached
 
 
@@ -134,7 +141,8 @@ def _allocate_one(
     func = clone_function(prepared_func)
     round0 = None
     if options.reuse_analyses:
-        round0 = round0_analyses(prepared_func, options.incremental)
+        round0 = round0_analyses(prepared_func, options.incremental,
+                                 options.policy)
     result = allocate_function(func, machine, allocator, options=options,
                                round0=round0)
     if options.verify:

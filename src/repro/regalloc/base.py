@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import abc
 import os
-import warnings
 from dataclasses import dataclass, field, replace
 
 from repro.analysis.incremental import (
@@ -27,10 +26,12 @@ from repro.analysis.liveness import Liveness, compute_liveness
 from repro.analysis.renumber import RenumberResult, renumber
 from repro.cfg.analysis import CFG, build_cfg
 from repro.cfg.loops import LoopInfo, compute_loops
+from repro.config import knob_env
 from repro.errors import AllocationError
 from repro.ir.function import Function
 from repro.ir.instructions import Move, SpillLoad, SpillStore
 from repro.ir.values import PReg, RegClass, Register, VReg
+from repro.policy import DEFAULT_POLICY, Policy
 from repro.profiling import phase
 from repro.regalloc.costs import (
     compute_spill_costs,
@@ -64,13 +65,17 @@ class AllocationOptions:
     (:func:`repro.pipeline.allocate_module`), the service scheduler, and
     the wire protocol all accept ``options=`` instead of the historical
     mix of keywords and environment variables.  The legacy keywords
-    still work but emit :class:`DeprecationWarning`.
+    were removed in this API generation and now raise :class:`TypeError`
+    with a migration hint.
 
     Fields that change *results* (``max_rounds``, ``rematerialize``,
-    ``verify``) are part of the service cache fingerprint; the rest
-    (``jobs``, ``reuse_analyses``, ``incremental``, ``deadline_ms``)
-    are result-neutral execution policy — any combination of them
-    yields byte-identical allocations.
+    ``verify``, ``policy``) are part of the service cache fingerprint;
+    the rest (``jobs``, ``reuse_analyses``, ``incremental``,
+    ``deadline_ms``) are result-neutral execution policy — any
+    combination of them yields byte-identical allocations.  A default
+    ``policy`` is byte-identical to the historical constants and is
+    *omitted* from both the wire form and the fingerprint, so existing
+    traffic keeps its fingerprints (see :mod:`repro.policy`).
 
     ``deadline_ms`` is the per-function hard deadline enforced by the
     :mod:`repro.exec` worker pool: a worker running past it is killed
@@ -99,8 +104,16 @@ class AllocationOptions:
     #: here so ``$REPRO_CACHE_DIR`` has exactly one reader, but not
     #: serialized onto the wire (it is server-local policy).
     cache_dir: str | None = None
+    #: heuristic decision points (cost constants, spill scoring,
+    #: selector key, degradation ladder) — see :mod:`repro.policy`.
+    policy: Policy = DEFAULT_POLICY
 
     def __post_init__(self) -> None:
+        if not isinstance(self.policy, Policy):
+            raise ValueError(
+                f"policy must be a repro.policy.Policy, "
+                f"got {type(self.policy).__name__}"
+            )
         if self.max_rounds < 1:
             raise ValueError("max_rounds must be >= 1")
         if self.jobs < 1:
@@ -135,10 +148,10 @@ class AllocationOptions:
         env = os.environ if environ is None else environ
         values = {
             "incremental": parse_incremental(
-                env.get("REPRO_INCREMENTAL_ROUNDS", "1")
+                knob_env("REPRO_INCREMENTAL_ROUNDS", "1", environ=env)
             ),
             "incremental_edits": parse_incremental(
-                env.get("REPRO_INCREMENTAL_EDITS", "1")
+                knob_env("REPRO_INCREMENTAL_EDITS", "1", environ=env)
             ),
             "cache_dir": env.get("REPRO_CACHE_DIR") or None,
         }
@@ -148,16 +161,23 @@ class AllocationOptions:
     def replace(self, **changes) -> "AllocationOptions":
         return replace(self, **changes)
 
-    #: fields serialized onto the service wire (cache_dir is local).
+    #: fields serialized onto the service wire (cache_dir is local;
+    #: a *default* policy is omitted so pre-policy clients and servers
+    #: interoperate unchanged).
     WIRE_FIELDS = ("max_rounds", "rematerialize", "verify", "jobs",
                    "reuse_analyses", "incremental", "incremental_edits",
-                   "deadline_ms")
+                   "deadline_ms", "policy")
 
     def to_dict(self) -> dict:
-        """JSON-safe wire form (``deadline_ms: None`` is omitted)."""
+        """JSON-safe wire form (``deadline_ms: None`` and the default
+        ``policy`` are omitted)."""
         wire = {name: getattr(self, name) for name in self.WIRE_FIELDS}
         if wire["deadline_ms"] is None:
             del wire["deadline_ms"]
+        if self.policy.is_default():
+            del wire["policy"]
+        else:
+            wire["policy"] = self.policy.to_dict()
         return wire
 
     @classmethod
@@ -167,23 +187,32 @@ class AllocationOptions:
         unknown = set(wire) - set(cls.WIRE_FIELDS)
         if unknown:
             raise ValueError(f"unknown option field(s) {sorted(unknown)}")
-        return cls(**wire)
+        values = dict(wire)
+        if "policy" in values:
+            values["policy"] = Policy.from_dict(values["policy"])
+        return cls(**values)
 
 
 def _resolve_options(options: AllocationOptions | None,
                      **legacy) -> AllocationOptions:
-    """Merge deprecated keyword arguments into an options value."""
+    """Reject removed legacy keywords; resolve ``None`` to env defaults.
+
+    The pre-``AllocationOptions`` keywords went through a
+    :class:`DeprecationWarning` cycle and are now hard errors with a
+    migration hint (the keyword parameters are retained in the public
+    signatures so callers get this message rather than an opaque
+    ``unexpected keyword argument``).
+    """
     supplied = {k: v for k, v in legacy.items() if v is not None}
     if supplied:
-        warnings.warn(
-            f"the keyword(s) {sorted(supplied)} are deprecated; pass "
-            f"options=AllocationOptions(...) instead",
-            DeprecationWarning,
-            stacklevel=3,
+        hint = ", ".join(f"{k}=..." for k in sorted(supplied))
+        raise TypeError(
+            f"the legacy keyword(s) {sorted(supplied)} were removed; "
+            f"pass options=AllocationOptions({hint}) instead"
         )
     if options is None:
         options = AllocationOptions.from_env()
-    return options.replace(**supplied) if supplied else options
+    return options
 
 
 @dataclass(eq=False)
@@ -198,6 +227,10 @@ class RoundContext:
     ig: InterferenceGraph
     spill_costs: dict[VReg, float]
     round_index: int
+    #: heuristic knobs for this allocation (defaults are byte-identical
+    #: to the historical constants) — allocators read cost constants,
+    #: spill scoring, and selector weights from here.
+    policy: Policy = DEFAULT_POLICY
 
     def graph(self, rclass: RegClass) -> AllocGraph:
         """A fresh per-class coloring graph for this round."""
@@ -264,6 +297,10 @@ class RoundAnalyses:
     #: patch instead of rebuild (None when computed without collection)
     block_rows: dict[str, dict[int, int]] | None = None
     block_costs: dict[str, dict[VReg, float]] | None = None
+    #: the policy the spill costs were computed under; cached analyses
+    #: are only valid for requests carrying the same policy, and the
+    #: incremental patchers recompute touched-block costs with it.
+    policy: Policy = DEFAULT_POLICY
 
     def apply_delta(
         self,
@@ -287,6 +324,7 @@ class RoundAnalyses:
             cfg=self.cfg, loops=self.loops, liveness=patched.liveness,
             ig=patched.ig, spill_costs=patched.spill_costs,
             block_rows=patched.block_rows, block_costs=patched.block_costs,
+            policy=self.policy,
         )
 
     def apply_edit_delta(self, func: Function,
@@ -311,6 +349,7 @@ class RoundAnalyses:
             liveness=patched.liveness, ig=patched.ig,
             spill_costs=patched.spill_costs,
             block_rows=patched.block_rows, block_costs=patched.block_costs,
+            policy=self.policy,
         )
 
     def ig_for(self, func: Function) -> InterferenceGraph | None:
@@ -343,13 +382,16 @@ class RoundAnalyses:
 
 
 def compute_round_analyses(
-    func: Function, collect_deltas: bool = False
+    func: Function, collect_deltas: bool = False,
+    policy: Policy = DEFAULT_POLICY,
 ) -> RoundAnalyses:
     """Analyze one (already renumbered) function for an allocation round.
 
     ``collect_deltas=True`` additionally retains the per-block summaries
     (interference rows, cost contributions) that let a later spill round
     patch these analyses via :meth:`RoundAnalyses.apply_delta`.
+    ``policy`` parameterizes the spill-cost weighting; the default is
+    byte-identical to the historical constants.
     """
     with phase("cfg"):
         cfg = build_cfg(func)
@@ -362,14 +404,14 @@ def compute_round_analyses(
     with phase("spill-costs"):
         if collect_deltas:
             spill_costs, block_costs = compute_spill_costs_by_block(
-                func, loops, cfg
+                func, loops, cfg, policy
             )
         else:
-            spill_costs = compute_spill_costs(func, loops, cfg)
+            spill_costs = compute_spill_costs(func, loops, cfg, policy)
             block_costs = None
     return RoundAnalyses(cfg=cfg, loops=loops, liveness=liveness, ig=ig,
                          spill_costs=spill_costs, block_rows=ig.block_rows,
-                         block_costs=block_costs)
+                         block_costs=block_costs, policy=policy)
 
 
 class Allocator(abc.ABC):
@@ -467,8 +509,8 @@ def allocate_function(
 
     ``options`` carries every knob (see :class:`AllocationOptions`);
     when omitted it is built by :meth:`AllocationOptions.from_env`.  The
-    bare ``max_rounds``/``rematerialize`` keywords are deprecated shims
-    that fold into ``options`` with a :class:`DeprecationWarning`.
+    bare ``max_rounds``/``rematerialize`` keywords were removed — passing
+    them raises :class:`TypeError` with a migration hint.
 
     ``options.rematerialize`` re-emits single-constant spilled live
     ranges instead of storing/reloading them (Briggs-style
@@ -493,6 +535,7 @@ def allocate_function(
     )
     max_rounds = options.max_rounds
     rematerialize = options.rematerialize
+    policy = options.policy
     stats = AllocationStats(allocator=allocator.name)
     # The move-count loop nest is the same one round 0 will use; reuse
     # the cached copy instead of re-deriving CFG + loops when available.
@@ -525,7 +568,10 @@ def allocate_function(
                 )
         analyses = None
         if round_index == 0 and round0 is not None:
-            ig = round0.ig_for(func)
+            # Retained analyses are only valid under the policy whose
+            # spill costs they carry; a mismatch falls back to a fresh
+            # (policy-correct) analysis below.
+            ig = round0.ig_for(func) if round0.policy == policy else None
             if ig is not None:
                 analyses = RoundAnalyses(
                     cfg=round0.cfg, loops=round0.loops,
@@ -533,13 +579,15 @@ def allocate_function(
                     spill_costs=round0.spill_costs,
                     block_rows=round0.block_rows,
                     block_costs=round0.block_costs,
+                    policy=round0.policy,
                 )
         if (analyses is None and delta is not None
                 and prev_analyses is not None and inc_mode != "off"):
             with phase("reanalyze"):
                 analyses = prev_analyses.apply_delta(func, delta, ren)
             if inc_mode == "validate":
-                fresh = compute_round_analyses(func, collect_deltas=True)
+                fresh = compute_round_analyses(func, collect_deltas=True,
+                                               policy=policy)
                 if analyses is not None:
                     problems = compare_analyses(analyses, fresh)
                     if problems:
@@ -552,7 +600,7 @@ def allocate_function(
         if analyses is None:
             with phase("analyze" if round_index == 0 else "reanalyze"):
                 analyses = compute_round_analyses(
-                    func, collect_deltas=collect
+                    func, collect_deltas=collect, policy=policy
                 )
         ctx = RoundContext(
             func=func,
@@ -563,6 +611,7 @@ def allocate_function(
             ig=analyses.ig,
             spill_costs=analyses.spill_costs,
             round_index=round_index,
+            policy=policy,
         )
         with phase("color"):
             outcome = allocator.allocate_round(ctx)

@@ -34,7 +34,8 @@ class BriggsAllocator(Allocator):
         for rclass in ctx.classes():
             graph = ctx.graph(rclass)
             outcome.coalesced_count += coalesce_aggressive(graph)
-            result = simplify(graph, optimistic=True)
+            result = simplify(graph, optimistic=True,
+                              policy=ctx.policy)
             outcome.alias.update(graph.alias)
             colored = select(
                 graph,

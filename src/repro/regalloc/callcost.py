@@ -21,6 +21,7 @@ from repro.core.costs import CostModel
 from repro.errors import AllocationError
 from repro.ir.instructions import Call
 from repro.ir.values import PReg, VReg
+from repro.policy import DEFAULT_POLICY, Policy
 from repro.profiling import phase
 from repro.regalloc.base import Allocator, RoundContext, RoundOutcome
 from repro.regalloc.coalesce import coalesce_aggressive
@@ -39,15 +40,16 @@ class CallCostAllocator(Allocator):
     def allocate_round(self, ctx: RoundContext) -> RoundOutcome:
         outcome = RoundOutcome()
         costs = CostModel(ctx.func, ctx.machine, ctx.cfg, ctx.loops,
-                          ctx.liveness)
+                          ctx.liveness, policy=ctx.policy)
         for rclass in ctx.classes():
             graph = ctx.graph(rclass)
             outcome.coalesced_count += coalesce_aggressive(graph)
 
-            benefit_vol, benefit_nonvol = self._benefits(graph, costs)
+            benefit_vol, benefit_nonvol = self._benefits(graph, costs,
+                                                         ctx.policy)
             with phase("simplify"):
                 stack = self._benefit_driven_simplify(
-                    graph, benefit_vol, benefit_nonvol, outcome
+                    graph, benefit_vol, benefit_nonvol, outcome, ctx.policy
                 )
             outcome.alias.update(graph.alias)
             if outcome.spilled:
@@ -64,9 +66,17 @@ class CallCostAllocator(Allocator):
     # ------------------------------------------------------------------
 
     def _benefits(
-        self, graph: AllocGraph, costs: CostModel
+        self, graph: AllocGraph, costs: CostModel,
+        policy: Policy = DEFAULT_POLICY,
     ) -> tuple[dict[VReg, float], dict[VReg, float]]:
-        """Per-representative benefits, summed over coalesced members."""
+        """Per-representative benefits, summed over coalesced members.
+
+        The 3.0/2.0 constants are the policy's save/restore and
+        callee-save costs (int defaults 3/2; ``float(3) * cross`` is
+        bit-equal to the historical ``3.0 * cross``).
+        """
+        save_restore = float(policy.save_restore_cost)
+        callee_save = float(policy.callee_save_cost)
         benefit_vol: dict[VReg, float] = {}
         benefit_nonvol: dict[VReg, float] = {}
         for node in graph.active:
@@ -75,8 +85,8 @@ class CallCostAllocator(Allocator):
                 if isinstance(member, VReg):
                     spill += costs.spill_cost(member)
                     cross += costs.cross_freq(member)
-            benefit_vol[node] = spill - 3.0 * cross
-            benefit_nonvol[node] = spill - 2.0
+            benefit_vol[node] = spill - save_restore * cross
+            benefit_nonvol[node] = spill - callee_save
         return benefit_vol, benefit_nonvol
 
     def _benefit_driven_simplify(
@@ -85,6 +95,7 @@ class CallCostAllocator(Allocator):
         benefit_vol: dict[VReg, float],
         benefit_nonvol: dict[VReg, float],
         outcome: RoundOutcome,
+        policy: Policy = DEFAULT_POLICY,
     ) -> list[VReg]:
         def priority(node: VReg) -> float:
             return max(benefit_vol.get(node, 0.0),
@@ -98,7 +109,7 @@ class CallCostAllocator(Allocator):
                 graph.remove(node)
                 stack.append(node)
                 continue
-            candidate = choose_spill_candidate(graph, graph.active)
+            candidate = choose_spill_candidate(graph, graph.active, policy)
             graph.remove(candidate)
             for member in graph.members_of(candidate):
                 if isinstance(member, VReg):

@@ -35,7 +35,8 @@ class ChaitinAllocator(Allocator):
         for rclass in ctx.classes():
             graph = ctx.graph(rclass)
             outcome.coalesced_count += coalesce_aggressive(graph)
-            result = simplify(graph, optimistic=False)
+            result = simplify(graph, optimistic=False,
+                              policy=ctx.policy)
             outcome.alias.update(graph.alias)
             if result.spilled:
                 # Spill the *entire* coalesced range of each marked node.

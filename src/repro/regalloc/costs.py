@@ -11,6 +11,12 @@ heuristics based on the metric in Section 5.1 to decide the spill
 candidate" — so this module is used by the baselines and by the
 preference-directed allocator alike (the latter adds the preference
 strengths on top, in :mod:`repro.core.costs`).
+
+The constants are the *defaults* of :class:`repro.policy.Policy`
+(``spill_load_cost`` / ``spill_store_cost`` / ``loop_depth_exponent``);
+a non-default policy re-weights the metric.  The default policy takes
+the exact historical arithmetic — same int constants, untouched
+frequencies — so results stay byte-identical.
 """
 
 from __future__ import annotations
@@ -19,51 +25,75 @@ from repro.cfg.analysis import CFG, build_cfg
 from repro.cfg.loops import LoopInfo, compute_loops
 from repro.ir.function import Function
 from repro.ir.values import VReg
+from repro.policy import DEFAULT_POLICY, Policy
 
 __all__ = ["LOAD_COST", "STORE_COST", "compute_spill_costs",
            "block_spill_costs", "compute_spill_costs_by_block"]
 
-#: Appendix: Load_Cost(I) is 2, Store_Cost(I) is 1.
+#: Appendix: Load_Cost(I) is 2, Store_Cost(I) is 1.  These remain the
+#: canonical defaults mirrored by ``Policy.spill_load_cost`` /
+#: ``Policy.spill_store_cost``.
 LOAD_COST = 2
 STORE_COST = 1
+
+
+def _effective_freq(freq, exponent: float):
+    """Spill-weighting frequency: ``freq ** exponent``.
+
+    ``exponent == 1.0`` (the default) returns ``freq`` untouched —
+    preserving its int-ness and therefore byte-identical totals.  The
+    exponent applies to spill-cost *weighting* only; cycle estimation
+    elsewhere always uses the raw frequency.
+    """
+    if exponent == 1.0:
+        return freq
+    return float(freq) ** exponent
 
 
 def compute_spill_costs(
     func: Function,
     loops: LoopInfo | None = None,
     cfg: CFG | None = None,
+    policy: Policy = DEFAULT_POLICY,
 ) -> dict[VReg, float]:
     """Frequency-weighted spill cost of every virtual register."""
     if cfg is None:
         cfg = build_cfg(func)
     if loops is None:
         loops = compute_loops(cfg)
+    load_cost = policy.spill_load_cost
+    store_cost = policy.spill_store_cost
+    exponent = policy.loop_depth_exponent
     costs: dict[VReg, float] = {}
     for blk in func.blocks:
-        freq = loops.freq(blk.label)
+        freq = _effective_freq(loops.freq(blk.label), exponent)
         for instr in blk.instrs:
             for u in instr.uses():
                 if isinstance(u, VReg):
-                    costs[u] = costs.get(u, 0.0) + LOAD_COST * freq
+                    costs[u] = costs.get(u, 0.0) + load_cost * freq
             for d in instr.defs():
                 if isinstance(d, VReg):
-                    costs[d] = costs.get(d, 0.0) + STORE_COST * freq
+                    costs[d] = costs.get(d, 0.0) + store_cost * freq
     for param in func.params:
         if isinstance(param, VReg):
             costs.setdefault(param, 0.0)
     return costs
 
 
-def block_spill_costs(block, freq: float) -> dict[VReg, float]:
+def block_spill_costs(block, freq: float,
+                      policy: Policy = DEFAULT_POLICY) -> dict[VReg, float]:
     """One block's frequency-weighted contribution to the spill costs."""
+    load_cost = policy.spill_load_cost
+    store_cost = policy.spill_store_cost
+    freq = _effective_freq(freq, policy.loop_depth_exponent)
     costs: dict[VReg, float] = {}
     for instr in block.instrs:
         for u in instr.uses():
             if isinstance(u, VReg):
-                costs[u] = costs.get(u, 0.0) + LOAD_COST * freq
+                costs[u] = costs.get(u, 0.0) + load_cost * freq
         for d in instr.defs():
             if isinstance(d, VReg):
-                costs[d] = costs.get(d, 0.0) + STORE_COST * freq
+                costs[d] = costs.get(d, 0.0) + store_cost * freq
     return costs
 
 
@@ -71,6 +101,7 @@ def compute_spill_costs_by_block(
     func: Function,
     loops: LoopInfo | None = None,
     cfg: CFG | None = None,
+    policy: Policy = DEFAULT_POLICY,
 ) -> tuple[dict[VReg, float], dict[str, dict[VReg, float]]]:
     """Spill costs plus the per-block contribution tables they sum from.
 
@@ -87,7 +118,7 @@ def compute_spill_costs_by_block(
     totals: dict[VReg, float] = {}
     per_block: dict[str, dict[VReg, float]] = {}
     for blk in func.blocks:
-        local = block_spill_costs(blk, loops.freq(blk.label))
+        local = block_spill_costs(blk, loops.freq(blk.label), policy)
         per_block[blk.label] = local
         for v, c in local.items():
             totals[v] = totals.get(v, 0.0) + c

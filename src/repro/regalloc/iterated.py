@@ -94,7 +94,8 @@ class IteratedCoalescingAllocator(Allocator):
                     frozen.update(live_moves(freezable[0]))
                     continue
                 # --- potential spill -------------------------------------
-                candidate = choose_spill_candidate(graph, graph.active)
+                candidate = choose_spill_candidate(graph, graph.active,
+                                                   ctx.policy)
                 graph.remove(candidate)
                 result.stack.append(candidate)
                 result.optimistic.add(candidate)

@@ -36,11 +36,55 @@ from dataclasses import dataclass, field
 
 from repro.errors import AllocationError
 from repro.ir.values import VReg
+from repro.policy import DEFAULT_POLICY, Policy
 from repro.profiling import phase
 from repro.regalloc.igraph import AllocGraph
 from repro.regalloc.worklist import DegreeWorklist, select_index_mode
 
-__all__ = ["SimplifyResult", "simplify", "choose_spill_candidate"]
+__all__ = ["SimplifyResult", "simplify", "choose_spill_candidate",
+           "spill_metric_fn", "tie_break_fn"]
+
+
+def spill_metric_fn(policy: Policy):
+    """The spill-candidate scoring function under ``policy``.
+
+    The default exponents (1.0, 1.0) return ``None`` so callers use the
+    inlined historical ``cost / degree`` expression, keeping the
+    arithmetic byte-identical.  Non-default policies get
+    ``cost ** ce / max(degree, 1) ** de``.
+    """
+    ce = policy.spill_cost_exponent
+    de = policy.spill_degree_exponent
+    if ce == 1.0 and de == 1.0:
+        return None
+
+    def metric(graph: AllocGraph, node: VReg) -> float:
+        cost = graph.spill_cost(node)
+        if cost == float("inf"):
+            return cost  # no-spill temporaries stay un-pickable
+        return float(cost) ** ce / float(max(graph.degree(node), 1)) ** de
+
+    return metric
+
+
+def tie_break_fn(policy: Policy):
+    """The deterministic tie-break key under ``policy``.
+
+    The default order ``("id", "name")`` returns the module-level
+    :func:`_tie_break` (the historical key) so indexed-engine heap
+    entries compare identically to before.
+    """
+    if policy.spill_tie_break == ("id", "name"):
+        return _tie_break
+    order = policy.spill_tie_break
+
+    def key(node: VReg) -> tuple:
+        return tuple(
+            node.id if field == "id" else (node.name or "")
+            for field in order
+        )
+
+    return key
 
 
 @dataclass(eq=False)
@@ -62,16 +106,26 @@ class SimplifyResult:
         return list(reversed(self.stack))
 
 
-def choose_spill_candidate(graph: AllocGraph, nodes) -> VReg:
-    """Minimum cost/degree node among ``nodes`` (the scan oracle)."""
+def choose_spill_candidate(graph: AllocGraph, nodes,
+                           policy: Policy = DEFAULT_POLICY) -> VReg:
+    """Minimum-metric node among ``nodes`` (the scan oracle).
+
+    The metric is Chaitin's ``spill_cost / degree`` under the default
+    policy, generalized to policy exponents otherwise; ties break by
+    the policy's field order (historically ``(id, name)``).
+    """
+    metric_of = spill_metric_fn(policy)
+    tie_break = tie_break_fn(policy)
     best: VReg | None = None
     best_metric = float("inf")
     for node in nodes:
-        degree = max(graph.degree(node), 1)
-        metric = graph.spill_cost(node) / degree
+        if metric_of is None:
+            metric = graph.spill_cost(node) / max(graph.degree(node), 1)
+        else:
+            metric = metric_of(graph, node)
         if best is None or metric < best_metric or (
             metric == best_metric
-            and _tie_break(node) < _tie_break(best)
+            and tie_break(node) < tie_break(best)
         ):
             best = node
             best_metric = metric
@@ -90,7 +144,8 @@ def _tie_break(node: VReg) -> tuple:
 
 
 def simplify(graph: AllocGraph, optimistic: bool = True,
-             index_mode: str | None = None) -> SimplifyResult:
+             index_mode: str | None = None,
+             policy: Policy = DEFAULT_POLICY) -> SimplifyResult:
     """Run simplification over the active nodes of ``graph``.
 
     ``graph`` is mutated: all active nodes are removed.  Copy-related
@@ -100,22 +155,27 @@ def simplify(graph: AllocGraph, optimistic: bool = True,
 
     ``index_mode`` overrides the ``REPRO_SELECT_INDEX`` environment
     setting (``"on"``/``"off"``/``"validate"``); every mode produces the
-    byte-identical stack.
+    byte-identical stack.  ``policy`` parameterizes the spill metric and
+    tie-break; the default reproduces the historical pick sequence
+    exactly.
     """
     mode = select_index_mode() if index_mode is None else index_mode
     result = SimplifyResult()
     with phase("simplify"):
         if mode == "off":
-            _simplify_scan(graph, optimistic, result)
+            _simplify_scan(graph, optimistic, result, policy)
         else:
             _simplify_indexed(graph, optimistic, result,
-                              validate=(mode == "validate"))
+                              validate=(mode == "validate"),
+                              policy=policy)
     return result
 
 
 def _simplify_scan(graph: AllocGraph, optimistic: bool,
-                   result: SimplifyResult) -> None:
+                   result: SimplifyResult,
+                   policy: Policy = DEFAULT_POLICY) -> None:
     """The original rescan-per-batch engine (reference oracle)."""
+    tie_break = tie_break_fn(policy)
     while graph.active:
         low = [n for n in graph.active if not graph.significant(n)]
         if low:
@@ -123,13 +183,13 @@ def _simplify_scan(graph: AllocGraph, optimistic: bool,
             # order; removing one can only lower other degrees, so
             # batch removal stays valid and is much faster than
             # re-scanning.
-            for node in sorted(low, key=_tie_break):
+            for node in sorted(low, key=tie_break):
                 if node in graph.active and not graph.significant(node):
                     graph.remove(node)
                     result.stack.append(node)
             continue
         with phase("spill_pick"):
-            candidate = choose_spill_candidate(graph, graph.active)
+            candidate = choose_spill_candidate(graph, graph.active, policy)
         graph.remove(candidate)
         if optimistic:
             result.stack.append(candidate)
@@ -139,7 +199,8 @@ def _simplify_scan(graph: AllocGraph, optimistic: bool,
 
 
 def _simplify_indexed(graph: AllocGraph, optimistic: bool,
-                      result: SimplifyResult, validate: bool) -> None:
+                      result: SimplifyResult, validate: bool,
+                      policy: Policy = DEFAULT_POLICY) -> None:
     """Worklist engine: low-degree buckets + lazy spill heap.
 
     Batch semantics match the scan engine exactly: a batch is "every
@@ -150,11 +211,12 @@ def _simplify_indexed(graph: AllocGraph, optimistic: bool,
     own members (degrees only fall, so no member can turn significant
     mid-batch).
     """
-    with DegreeWorklist(graph, _tie_break) as worklist:
+    with DegreeWorklist(graph, tie_break_fn(policy),
+                        metric=spill_metric_fn(policy)) as worklist:
         while graph.active:
             batch = worklist.take_batch()
             if validate:
-                _check_batch(graph, batch)
+                _check_batch(graph, batch, policy)
             if batch:
                 for node in batch:
                     graph.remove(node)
@@ -162,7 +224,8 @@ def _simplify_indexed(graph: AllocGraph, optimistic: bool,
                 continue
             with phase("spill_pick"):
                 if validate:
-                    oracle = choose_spill_candidate(graph, graph.active)
+                    oracle = choose_spill_candidate(graph, graph.active,
+                                                    policy)
                     candidate = worklist.pop_spill()
                     # Value equality, not identity: equal-but-distinct
                     # VReg instances occur under cached/unpickled
@@ -182,11 +245,12 @@ def _simplify_indexed(graph: AllocGraph, optimistic: bool,
                 result.spilled.add(candidate)
 
 
-def _check_batch(graph: AllocGraph, batch: list[VReg]) -> None:
+def _check_batch(graph: AllocGraph, batch: list[VReg],
+                 policy: Policy = DEFAULT_POLICY) -> None:
     """Validate-mode assertion: batch == the oracle's sorted low scan."""
     oracle = sorted(
         (n for n in graph.active if not graph.significant(n)),
-        key=_tie_break,
+        key=tie_break_fn(policy),
     )
     if batch != oracle:
         raise AllocationError(

@@ -33,9 +33,9 @@ byte-identical in every mode — so it deliberately stays out of
 
 from __future__ import annotations
 
-import os
 from heapq import heappop, heappush
 
+from repro.config import knob_env
 from repro.errors import AllocationError
 from repro.ir.values import VReg
 
@@ -63,8 +63,9 @@ def select_index_mode() -> str:
     Controlled by the ``REPRO_SELECT_INDEX`` environment variable; any
     of ``0``/``off``/``false``/``no`` selects the scan oracles and
     ``validate`` runs both engines with pick-for-pick assertions.
+    Read through :func:`repro.config.knob_env` like every strategy knob.
     """
-    return parse_select_index(os.environ.get("REPRO_SELECT_INDEX", "1"))
+    return parse_select_index(knob_env("REPRO_SELECT_INDEX", "1"))
 
 
 class DegreeWorklist:
@@ -88,11 +89,18 @@ class DegreeWorklist:
     for the next one.
     """
 
-    __slots__ = ("graph", "tie_break", "_pending", "_heap", "_gen")
+    __slots__ = ("graph", "tie_break", "metric", "_pending", "_heap",
+                 "_gen")
 
-    def __init__(self, graph, tie_break) -> None:
+    def __init__(self, graph, tie_break, metric=None) -> None:
         self.graph = graph
         self.tie_break = tie_break
+        #: optional ``metric(graph, node) -> float`` override for the
+        #: spill score; ``None`` keeps the inlined historical
+        #: ``cost / degree`` (byte-identical heap entries).  A non-None
+        #: metric comes from a non-default :class:`repro.policy.Policy`
+        #: via :func:`repro.regalloc.simplify.spill_metric_fn`.
+        self.metric = metric
         self._pending: list[VReg] = []
         self._heap: list[tuple] = []
         self._gen: dict[VReg, int] = {}
@@ -133,8 +141,11 @@ class DegreeWorklist:
     def _push(self, node: VReg) -> None:
         gen = self._gen.get(node, 0) + 1
         self._gen[node] = gen
-        degree = max(self.graph.degree(node), 1)
-        metric = self.graph.spill_cost(node) / degree
+        if self.metric is None:
+            degree = max(self.graph.degree(node), 1)
+            metric = self.graph.spill_cost(node) / degree
+        else:
+            metric = self.metric(self.graph, node)
         heappush(self._heap, (metric, self.tie_break(node), gen, node))
 
     # ------------------------------------------------------------------

@@ -14,8 +14,10 @@ optional :class:`CacheBackend` — the second tier consulted only on a
 memory miss and written through on every store.  Two backends ship:
 
 * :class:`DiskCacheBackend` — the historical on-disk layer under
-  ``~/.cache/repro`` (override with ``$REPRO_CACHE_DIR`` or
-  ``disk_dir=``), persisting entries across server restarts;
+  ``~/.cache/repro`` (override with ``disk_dir=``, or
+  ``AllocationOptions.cache_dir`` — which ``from_env`` fills from
+  ``$REPRO_CACHE_DIR`` at the serve entry points), persisting entries
+  across server restarts;
 * :class:`repro.cluster.cachepeer.PeerCacheBackend` — a TCP client of a
   shared cache-peer server, so the shards of a cluster share hits.
 
@@ -55,21 +57,30 @@ def request_fingerprint(normalized_ir: str, machine: TargetMachine,
                         options: "AllocationOptions | None" = None) -> str:
     """The content address of one allocation request.
 
-    Only *result-relevant* options enter the key: ``max_rounds`` and
-    ``rematerialize`` change the allocation, so they are hashed;
-    execution policy (``jobs``, ``incremental``, deadlines) is
-    result-neutral by construction and deliberately excluded — a cached
-    entry must be valid whatever machinery computed it.
+    Only *result-relevant* options enter the key: ``max_rounds``,
+    ``rematerialize``, and a non-default heuristic ``policy`` change the
+    allocation, so they are hashed; execution policy (``jobs``,
+    ``incremental``, deadlines) is result-neutral by construction and
+    deliberately excluded — a cached entry must be valid whatever
+    machinery computed it.
+
+    A *default* policy adds nothing to the payload: its results are
+    byte-identical to the pre-policy constants, so fingerprints (and
+    therefore the cached entries of all existing traffic) are unchanged.
+    A non-default policy joins as its canonical digest.
     """
+    policy = None
     if options is not None:
         verify = options.verify
         max_rounds = options.max_rounds
         rematerialize = options.rematerialize
+        if not options.policy.is_default():
+            policy = options.policy
     else:
         defaults = AllocationOptions()
         max_rounds = defaults.max_rounds
         rematerialize = defaults.rematerialize
-    payload = canonical_json({
+    fields = {
         "protocol": PROTOCOL_VERSION,
         "ir": normalized_ir,
         "machine": machine_descriptor(machine),
@@ -77,17 +88,24 @@ def request_fingerprint(normalized_ir: str, machine: TargetMachine,
         "verify": verify,
         "max_rounds": max_rounds,
         "rematerialize": rematerialize,
-    })
+    }
+    if policy is not None:
+        fields["policy"] = policy.digest()
+    payload = canonical_json(fields)
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
 def default_cache_dir(options: AllocationOptions | None = None) -> Path:
-    """Disk-cache directory: ``options.cache_dir``, else the
-    ``$REPRO_CACHE_DIR`` default that :meth:`AllocationOptions.from_env`
-    folds in, else ``~/.cache/repro``."""
-    if options is None:
-        options = AllocationOptions.from_env()
-    if options.cache_dir:
+    """Disk-cache directory: ``options.cache_dir``, else ``~/.cache/repro``.
+
+    This function is deliberately *pure* with respect to the
+    environment: ``$REPRO_CACHE_DIR`` is folded into ``options`` by
+    :meth:`AllocationOptions.from_env` at the composition roots (the
+    ``serve`` CLIs), never consulted here.  The cache layer reading the
+    environment behind the options surface was a bug — an options value
+    constructed without ``from_env`` silently picked up the variable.
+    """
+    if options is not None and options.cache_dir:
         return Path(options.cache_dir).expanduser()
     return Path("~/.cache/repro").expanduser()
 

@@ -17,7 +17,7 @@ cache hits, and direct :func:`repro.pipeline.allocate_module` runs.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field, replace
+from dataclasses import InitVar, dataclass, field, replace
 
 from repro.errors import ServiceError
 from repro.regalloc.base import AllocationOptions, AllocationStats
@@ -115,10 +115,13 @@ class AllocationRequest:
     """One allocation job: IR text *or* a benchmark name, plus knobs.
 
     Since protocol v2 the knobs ride in ``options``
-    (:class:`~repro.regalloc.base.AllocationOptions`); ``verify`` and
-    ``deadline_s`` are kept as synchronized views so v1 clients and old
-    call sites keep working unchanged.  Construct with either — when
-    ``options`` is given it wins and the views are refreshed from it.
+    (:class:`~repro.regalloc.base.AllocationOptions`), which is the
+    *only* stored copy: the historical ``verify``/``deadline_s`` fields
+    are now constructor conveniences (folded into ``options`` when no
+    explicit ``options`` is given — ``options`` wins otherwise) plus
+    read-only properties derived from it.  Only a v1 wire conversation
+    still carries them as fields; a v2 wire line carries ``options``
+    alone, so the two copies can never disagree.
     """
 
     id: str = ""
@@ -128,8 +131,10 @@ class AllocationRequest:
     machine: MachineSpec = field(default_factory=MachineSpec)
     #: seconds the client is willing to wait; the scheduler degrades the
     #: allocator (it never errors) once the deadline has passed.
-    deadline_s: float | None = None
-    verify: bool = True
+    #: Constructor-only: stored as ``options.deadline_ms``.
+    deadline_s: InitVar[float | None] = None
+    #: constructor-only: stored as ``options.verify``.
+    verify: InitVar[bool | None] = None
     options: AllocationOptions | None = None
     protocol: int = PROTOCOL_VERSION
     #: cache key precomputed by a routing tier in the same trust domain
@@ -144,22 +149,22 @@ class AllocationRequest:
     #: gracefully to a from-scratch build that primes the session.
     base_digest: str | None = None
 
-    def __post_init__(self) -> None:
+    def __post_init__(self, deadline_s, verify) -> None:
+        # Non-numeric deadlines are remembered raw so validate() can
+        # reject them with a ServiceError instead of blowing up here.
+        self._invalid_deadline = None
         if self.options is None:
-            overrides = {"verify": bool(self.verify)}
-            # Non-numeric deadlines stay on the view for validate() to
-            # reject with a ServiceError instead of blowing up here.
-            if isinstance(self.deadline_s, (int, float)) and not isinstance(
-                self.deadline_s, bool
-            ):
-                overrides["deadline_ms"] = float(self.deadline_s) * 1000.0
+            overrides = {"verify": True if verify is None else bool(verify)}
+            if deadline_s is not None:
+                if isinstance(deadline_s, (int, float)) and not isinstance(
+                    deadline_s, bool
+                ):
+                    overrides["deadline_ms"] = float(deadline_s) * 1000.0
+                else:
+                    self._invalid_deadline = deadline_s
             self.options = AllocationOptions.from_env(**overrides)
-        else:
-            self.verify = self.options.verify
-            self.deadline_s = (
-                None if self.options.deadline_ms is None
-                else self.options.deadline_ms / 1000.0
-            )
+        # An explicit options value wins outright; the legacy
+        # constructor arguments are dropped, not synced.
 
     def validate(self) -> None:
         if self.protocol not in SUPPORTED_PROTOCOLS:
@@ -182,9 +187,7 @@ class AllocationRequest:
                 f"unknown allocator {self.allocator!r}; "
                 f"choose from {sorted(SERVICE_ALLOCATORS)}"
             )
-        if self.deadline_s is not None and not isinstance(
-            self.deadline_s, (int, float)
-        ):
+        if self._invalid_deadline is not None:
             raise ServiceError("deadline_s must be a number (seconds)")
         if self.base_digest is not None:
             if self.protocol < 2:
@@ -205,20 +208,23 @@ class AllocationRequest:
             "id": self.id,
             "allocator": self.allocator,
             "machine": self.machine.to_wire(),
-            "verify": self.verify,
         }
         if self.ir is not None:
             wire["ir"] = self.ir
         if self.bench is not None:
             wire["bench"] = self.bench
-        if self.deadline_s is not None:
-            wire["deadline_s"] = self.deadline_s
-        # v1 peers would choke on the extra object; the legacy fields
-        # above already carry everything a v1 conversation can express.
-        if self.protocol >= 2 and self.options is not None:
-            wire["options"] = self.options.to_dict()
-        if self.protocol >= 2 and self.fingerprint_hint:
-            wire["fingerprint_hint"] = self.fingerprint_hint
+        if self.protocol >= 2:
+            # v2 carries the one true copy; the legacy fields would be
+            # redundant duplicates and are no longer emitted.
+            if self.options is not None:
+                wire["options"] = self.options.to_dict()
+            if self.fingerprint_hint:
+                wire["fingerprint_hint"] = self.fingerprint_hint
+        else:
+            # v1 compat: bare knobs are all that dialect can express.
+            wire["verify"] = self.verify
+            if self.deadline_s is not None:
+                wire["deadline_s"] = self.deadline_s
         if self.base_digest is not None:
             wire["base"] = self.base_digest
         return wire
@@ -246,6 +252,8 @@ class AllocationRequest:
             bench=wire.get("bench"),
             allocator=wire.get("allocator", "full"),
             machine=MachineSpec.from_wire(wire.get("machine", {})),
+            # Bare knobs only matter when no options object arrived
+            # (v1 peers, hand-written lines); options wins otherwise.
             deadline_s=wire.get("deadline_s"),
             verify=bool(wire.get("verify", True)),
             options=options,
@@ -258,6 +266,20 @@ class AllocationRequest:
 
     def to_json(self) -> str:
         return canonical_json(self.to_wire())
+
+
+# Read-only views of the one stored copy.  Assigned after the @dataclass
+# decoration on purpose: inside the class body the property objects
+# would be visible at decoration time and become the InitVar *defaults*.
+AllocationRequest.verify = property(
+    lambda self: self.options.verify,
+    doc="Read-only view of ``options.verify``.",
+)
+AllocationRequest.deadline_s = property(
+    lambda self: (None if self.options.deadline_ms is None
+                  else self.options.deadline_ms / 1000.0),
+    doc="Read-only view of ``options.deadline_ms``, in seconds.",
+)
 
 
 @dataclass

@@ -27,7 +27,6 @@ from __future__ import annotations
 
 import queue
 import threading
-import warnings
 from concurrent.futures import Future
 from dataclasses import dataclass
 from time import perf_counter
@@ -39,6 +38,7 @@ from repro.ir.function import Module
 from repro.ir.parser import parse_module
 from repro.ir.printer import print_function, print_module
 from repro.pipeline import ModuleAllocation, allocate_module, prepare_module
+from repro.policy import DEFAULT_POLICY, Policy
 from repro.profiling import profiled
 from repro.regalloc import (
     AllocationOptions,
@@ -85,19 +85,14 @@ ALLOCATOR_FACTORIES = {
 
 #: Under pressure each allocator falls back one rung; ``chaitin`` is the
 #: floor (cheapest round, no preference machinery) and never degrades.
-DEGRADATION_LADDER = {
-    "full": "chaitin",
-    "only-coalescing": "chaitin",
-    "iterated": "briggs",
-    "optimistic": "briggs",
-    "briggs": "chaitin",
-    "callcost": "chaitin",
-    "priority": "chaitin",
-}
+#: The canonical copy lives on :class:`repro.policy.Policy` — this view
+#: is the *default* policy's ladder, kept for import compatibility.
+DEGRADATION_LADDER = DEFAULT_POLICY.ladder_map()
 
 
-def degrade_for(allocator: str) -> str:
-    return DEGRADATION_LADDER.get(allocator, "chaitin")
+def degrade_for(allocator: str, policy: Policy = DEFAULT_POLICY) -> str:
+    """One rung down ``policy``'s degradation ladder (floor: chaitin)."""
+    return policy.ladder_map().get(allocator, "chaitin")
 
 
 #: session ladder rung -> metrics counter (``new`` is a scratch build
@@ -137,22 +132,20 @@ def execute_request(
     This is the single compute path shared by the scheduler, the
     ``--json`` CLI commands, and the byte-identity tests; callers may
     pass a pre-``prepare_module``-d module to skip re-preparation.
-    ``options`` defaults to the request's own; the bare ``jobs`` keyword
-    is a deprecated shim.  ``pool`` routes parallel allocation through a
-    specific worker pool (the scheduler passes its own).
+    ``options`` defaults to the request's own; the bare ``jobs``
+    keyword was removed (it raises TypeError with the replacement
+    spelling).  ``pool`` routes parallel allocation through a specific
+    worker pool (the scheduler passes its own).
     """
     request.validate()
     name = effective_allocator or request.allocator
     if options is None:
         options = request.options
     if jobs is not None:
-        warnings.warn(
-            "the 'jobs' keyword is deprecated; pass "
-            "options=AllocationOptions(jobs=...) instead",
-            DeprecationWarning,
-            stacklevel=2,
+        raise TypeError(
+            "the legacy 'jobs' keyword was removed; pass "
+            "options=AllocationOptions(jobs=...) instead"
         )
-        options = options.replace(jobs=jobs)
     if machine is None:
         machine = request.machine.build()
     if prepared is None:
@@ -186,7 +179,7 @@ class Scheduler:
     ``options`` is the server-side execution policy applied to every
     request (most importantly ``jobs``, the worker-pool width); knobs a
     request carries itself (verify, deadline, max_rounds, ...) stay per
-    request.  The bare ``jobs`` keyword is a deprecated shim.  With
+    request.  The bare ``jobs`` keyword was removed (TypeError).  With
     ``options.jobs > 1`` the scheduler owns a persistent
     :class:`~repro.exec.WorkerPool`, giving every allocation process
     isolation: a crashed or wedged worker is killed and respawned, the
@@ -211,14 +204,9 @@ class Scheduler:
         self.cache = cache
         self.metrics = metrics or ServiceMetrics()
         if jobs is not None:
-            warnings.warn(
-                "the 'jobs' keyword is deprecated; pass "
-                "options=AllocationOptions(jobs=...) instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            options = (options or AllocationOptions.from_env()).replace(
-                jobs=jobs
+            raise TypeError(
+                "the legacy 'jobs' keyword was removed; pass "
+                "options=AllocationOptions(jobs=...) instead"
             )
         self.options = options or AllocationOptions.from_env()
         self.jobs = self.options.jobs
@@ -373,12 +361,14 @@ class Scheduler:
                 perf_counter() - job.submitted_at
             ) > request.deadline_s:
                 self.metrics.inc("deadline_misses")
-                effective = degrade_for(request.allocator)
+                effective = degrade_for(request.allocator,
+                                        request.options.policy)
                 # The deadline already passed; degradation is about
                 # finishing fast now, not about killing more workers.
                 run_options = run_options.replace(deadline_ms=None)
             elif job.overloaded:
-                effective = degrade_for(request.allocator)
+                effective = degrade_for(request.allocator,
+                                        request.options.policy)
 
             t0 = perf_counter()
             prepared, machine = self._prepare_cached(
@@ -403,7 +393,8 @@ class Scheduler:
                     # freed the worker).
                     self.metrics.inc("deadline_misses")
                     self.metrics.inc("worker_deadline_kills")
-                    effective = degrade_for(effective)
+                    effective = degrade_for(effective,
+                                            request.options.policy)
                     response = execute_request(
                         request,
                         run_options.replace(deadline_ms=None),
@@ -453,10 +444,12 @@ class Scheduler:
                 perf_counter() - job.submitted_at
             ) > request.deadline_s:
                 self.metrics.inc("deadline_misses")
-                effective = degrade_for(request.allocator)
+                effective = degrade_for(request.allocator,
+                                        request.options.policy)
                 run_options = run_options.replace(deadline_ms=None)
             elif job.overloaded:
-                effective = degrade_for(request.allocator)
+                effective = degrade_for(request.allocator,
+                                        request.options.policy)
             t0 = perf_counter()
             info: dict = {}
             with profiled() as prof:

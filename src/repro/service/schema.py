@@ -1,13 +1,14 @@
 """One registry for every JSON document the repo emits.
 
-Four shapes leave the system: ``allocation`` (``alloc --json``,
+The shapes leaving the system: ``allocation`` (``alloc --json``,
 ``submit --json``, and every server response line), ``comparison``
 (``compare --json`` / ``bench --json``), ``stats`` (the ``stats``
-control reply), and ``final_stats`` (the snapshot ``serve`` dumps on
-shutdown).  Historically each was assembled at its call site; they now
-all come from here, stamped with a shared ``schema`` version so
-downstream consumers can detect shape changes without guessing from the
-fields.
+control reply), ``final_stats`` (the snapshot ``serve`` dumps on
+shutdown), ``cluster_stats`` (the router's snapshot), and
+``policy_tuning`` (the offline tuner's report).  Historically each was
+assembled at its call site; they now all come from here, stamped with a
+shared ``schema`` version so downstream consumers can detect shape
+changes without guessing from the fields.
 
 ``schema`` versions the *envelope shapes* in this module; it is
 orthogonal to ``protocol`` (the request/response conversation version,
@@ -28,6 +29,7 @@ __all__ = [
     "stats_payload",
     "final_stats_payload",
     "cluster_stats_payload",
+    "policy_tuning_payload",
     "dataflow_backend_fields",
 ]
 
@@ -42,11 +44,14 @@ __all__ = [
 #: ``allocate_delta`` edit-chain token, empty off the delta path) and
 #: the counter contract gains the ``delta_requests`` / ``session_*``
 #: family plus the ``session_hit_ratio`` metrics field.
-SCHEMA_VERSION = 3
+#: v4: ``policy_tuning`` joins the registry (``benchmarks/
+#: tune_policy.py``'s report: per-family default/candidate measurements
+#: and the winning :class:`repro.policy.Policy`).
+SCHEMA_VERSION = 4
 
 #: Every ``type`` tag this module can emit.
 SCHEMA_TYPES = ("allocation", "comparison", "stats", "final_stats",
-                "cluster_stats")
+                "cluster_stats", "policy_tuning")
 
 #: Counters every ``stats``/``final_stats`` metrics section must carry —
 #: the contract the schema version vouches for (asserted by the
@@ -138,6 +143,27 @@ def final_stats_payload(metrics: dict, cache: dict) -> dict:
         "metrics": metrics,
         "cache": cache,
     })
+
+
+def policy_tuning_payload(tuner: dict, families: dict,
+                          best: dict | None = None) -> dict:
+    """The offline policy tuner's report (``BENCH_policy_tuning.json``).
+
+    ``tuner`` describes the search (seed, budget, workload snapshot,
+    runtime knobs); ``families`` maps family name -> that family's
+    default/tuned measurements and deltas; ``best`` is the winning
+    policy's ``to_dict()`` form plus its digest (absent when no
+    candidate beat the default).
+    """
+    payload = _tagged({
+        "type": "policy_tuning",
+        "protocol": PROTOCOL_VERSION,
+        "tuner": tuner,
+        "families": families,
+    })
+    if best is not None:
+        payload["best"] = best
+    return payload
 
 
 def cluster_stats_payload(router: dict, shards: list,

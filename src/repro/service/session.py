@@ -56,6 +56,7 @@ from repro.ir.function import Function
 from repro.ir.parser import parse_module
 from repro.ir.printer import print_function, print_module
 from repro.ir.validate import validate_function
+from repro.policy import DEFAULT_POLICY, Policy
 from repro.profiling import phase
 from repro.regalloc.base import (
     AllocationOptions,
@@ -142,12 +143,13 @@ class FunctionSession:
     memo: dict = field(default_factory=dict)
 
     @classmethod
-    def build(cls, parsed: Function,
-              machine: TargetMachine) -> "FunctionSession":
+    def build(cls, parsed: Function, machine: TargetMachine,
+              policy: Policy = DEFAULT_POLICY) -> "FunctionSession":
         """A fresh session for ``parsed`` (the from-scratch rung)."""
         raw = clone_function(parsed)
         ref, posmap = _prepare_ref(raw, machine)
-        analyses = compute_round_analyses(ref, collect_deltas=True)
+        analyses = compute_round_analyses(ref, collect_deltas=True,
+                                          policy=policy)
         return cls(name=parsed.name, raw=raw, ref=ref, analyses=analyses,
                    posmap=posmap)
 
@@ -185,7 +187,8 @@ class FunctionSession:
                 analyses=self.analyses, posmap=self.posmap,
             ), "value"
         if not delta.consistent:
-            return FunctionSession.build(parsed, machine), "rebuild"
+            return FunctionSession.build(parsed, machine,
+                                         self.analyses.policy), "rebuild"
         raw = clone_function(parsed)
         ref, posmap = _prepare_ref(raw, machine)
         rdelta = diff_functions(self.ref, ref, pair_registers=True)
@@ -194,7 +197,8 @@ class FunctionSession:
             analyses = self.analyses.apply_edit_delta(ref, rdelta)
         rung = "struct"
         if analyses is None:
-            analyses = compute_round_analyses(ref, collect_deltas=True)
+            analyses = compute_round_analyses(ref, collect_deltas=True,
+                                              policy=self.analyses.policy)
             rung = "rebuild"
         return FunctionSession(name=self.name, raw=raw, ref=ref,
                                analyses=analyses, posmap=posmap), rung
@@ -235,7 +239,8 @@ def _validate_session(session: FunctionSession, parsed: Function,
     prepared = prepare_function(clone_function(parsed), machine)
     ref = clone_function(prepared)
     renumber(ref)
-    fresh = compute_round_analyses(ref, collect_deltas=True)
+    fresh = compute_round_analyses(ref, collect_deltas=True,
+                                   policy=options.policy)
     problems = compare_analyses(session.analyses, fresh)
     if problems:
         raise AllocationError(
@@ -289,13 +294,18 @@ def allocate_function_incremental(
         options = AllocationOptions.from_env()
     mode = options.incremental_edits
     with phase("session"):
-        if session is None or mode == "off":
-            fresh = FunctionSession.build(func, machine)
+        # A session built under a different policy carries analyses
+        # (spill costs and everything derived from them) that are not
+        # this request's; retained state is only sound policy-for-policy.
+        stale_policy = (session is not None
+                        and session.analyses.policy != options.policy)
+        if session is None or mode == "off" or stale_policy:
+            fresh = FunctionSession.build(func, machine, options.policy)
             path = "new" if session is None else "rebuild"
         else:
             fresh, path = session.advance(func, machine)
     memo_key = (allocator.name, options.max_rounds, options.rematerialize,
-                options.verify)
+                options.verify, options.policy.digest())
     hit = fresh.memo.get(memo_key)
     if hit is not None:
         result, cycles = hit
@@ -412,6 +422,12 @@ def execute_delta_request(
     machine = request.machine.build()
     module = parse_module(request.ir)
     machine_key = canonical_json(machine_descriptor(machine))
+    if not options.policy.is_default():
+        # Retained sessions are policy-specific (see
+        # allocate_function_incremental); keying the store entry by the
+        # policy too keeps a chain from thrashing another policy's
+        # sessions under the same token.
+        machine_key += "+policy:" + options.policy.digest()
     base = None
     if request.base_digest:
         base = store.get(request.base_digest, machine_key)

@@ -17,7 +17,7 @@ from repro.errors import AllocationError, ServiceError
 from repro.pipeline import allocate_module, prepare_function, prepare_module
 from repro.regalloc import AllocationOptions, ChaitinAllocator
 from repro.regalloc.base import allocate_function
-from repro.service.cache import request_fingerprint
+from repro.service.cache import default_cache_dir, request_fingerprint
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     SUPPORTED_PROTOCOLS,
@@ -86,6 +86,32 @@ class TestValidation:
             AllocationOptions().replace(jobs=-2)
 
 
+class TestCacheDirResolution:
+    """Regression: the cache layer once read ``$REPRO_CACHE_DIR``
+    directly, behind the options surface.  The variable now has exactly
+    one reader — ``AllocationOptions.from_env`` — and
+    ``default_cache_dir`` is pure with respect to the environment."""
+
+    def test_env_is_never_consulted_directly(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "from-env"))
+        from pathlib import Path
+        home_default = Path("~/.cache/repro").expanduser()
+        assert default_cache_dir() == home_default
+        assert default_cache_dir(AllocationOptions()) == home_default
+
+    def test_env_flows_only_through_from_env(self, monkeypatch, tmp_path):
+        env_dir = tmp_path / "from-env"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(env_dir))
+        opts = AllocationOptions.from_env()
+        assert default_cache_dir(opts) == env_dir
+
+    def test_explicit_options_win(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "ignored"))
+        chosen = tmp_path / "chosen"
+        opts = AllocationOptions.from_env(cache_dir=str(chosen))
+        assert default_cache_dir(opts) == chosen
+
+
 class TestFromEnv:
     def test_reads_both_documented_variables(self):
         env = {"REPRO_INCREMENTAL_ROUNDS": "off",
@@ -139,7 +165,9 @@ class TestWireForm:
             AllocationOptions.from_dict([1, 2])
 
 
-class TestDeprecationShims:
+class TestRemovedLegacyKeywords:
+    """The PR-4 deprecation cycle is over: bare keywords are TypeErrors."""
+
     @pytest.fixture
     def setup(self):
         machine = make_machine(8)
@@ -150,36 +178,27 @@ class TestDeprecationShims:
         from repro.ir.clone import clone_function
 
         func = clone_function(prepared.functions[0])
-        with pytest.warns(DeprecationWarning,
-                          match=r"\['max_rounds', 'rematerialize'\]"):
-            result = allocate_function(func, machine, ChaitinAllocator(),
-                                       max_rounds=8, rematerialize=True)
-        assert result.stats.rounds >= 1
+        with pytest.raises(TypeError,
+                           match=r"\['max_rounds', 'rematerialize'\]"):
+            allocate_function(func, machine, ChaitinAllocator(),
+                              max_rounds=8, rematerialize=True)
 
-    def test_allocate_module_legacy_keywords(self, setup):
+    def test_error_names_the_migration(self, setup):
         prepared, machine = setup
-        with pytest.warns(DeprecationWarning, match="deprecated"):
-            legacy = allocate_module(prepared, machine,
-                                     ChaitinAllocator(), verify=False)
-        modern = allocate_module(prepared, machine, ChaitinAllocator(),
-                                 AllocationOptions(verify=False))
-        assert vars(legacy.stats) == vars(modern.stats)
+        with pytest.raises(TypeError,
+                           match=r"options=AllocationOptions\(verify=\.\.\.\)"):
+            allocate_module(prepared, machine, ChaitinAllocator(),
+                            verify=False)
 
     def test_scheduler_jobs_keyword(self):
-        with pytest.warns(DeprecationWarning, match="jobs"):
-            scheduler = Scheduler(jobs=2)
-        try:
-            assert scheduler.options.jobs == 2
-            assert scheduler.pool is not None
-        finally:
-            scheduler.stop()
+        with pytest.raises(TypeError, match="jobs"):
+            Scheduler(jobs=2)
 
     def test_execute_request_jobs_keyword(self):
         request = AllocationRequest(id="d", ir=IR, allocator="chaitin",
                                     machine=MachineSpec(regs=8))
-        with pytest.warns(DeprecationWarning, match="jobs"):
-            response = execute_request(request, jobs=1)
-        assert response.ok
+        with pytest.raises(TypeError, match="jobs"):
+            execute_request(request, jobs=1)
 
     def test_modern_call_sites_warn_nothing(self, setup):
         prepared, machine = setup
@@ -220,11 +239,13 @@ class TestProtocolCompat:
         wire = request.to_wire()
         assert wire["protocol"] == PROTOCOL_VERSION == 2
         assert wire["options"]["max_rounds"] == 9
-        # legacy views stay synchronized for old readers
-        assert wire["verify"] is False
-        assert wire["deadline_s"] == 0.5
+        # options is the only copy on a v2 line; the legacy duplicates
+        # are gone (v1 conversations still carry them — see below)
+        assert "verify" not in wire
+        assert "deadline_s" not in wire
         again = AllocationRequest.from_wire(wire)
         assert again.options == request.options
+        assert again.verify is False and again.deadline_s == 0.5
 
     def test_v1_request_round_trips_with_defaulted_options(self):
         # A v1 client sends no "options" object; the server accepts the
@@ -241,9 +262,12 @@ class TestProtocolCompat:
         assert request.options.verify is False
         assert request.options.deadline_ms == 1500.0
         request.validate()  # v1 still spoken
-        # and a v1 request serializes *without* the v2 options object
-        assert "options" not in request.to_wire()
-        assert AllocationRequest.from_wire(request.to_wire()) == request
+        # and a v1 request serializes *without* the v2 options object,
+        # carrying the bare knobs that dialect understands instead
+        wire = request.to_wire()
+        assert "options" not in wire
+        assert wire["verify"] is False and wire["deadline_s"] == 1.5
+        assert AllocationRequest.from_wire(wire) == request
 
     def test_unsupported_protocol_rejected(self):
         beyond = max(SUPPORTED_PROTOCOLS) + 1
