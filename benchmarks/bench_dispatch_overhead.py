@@ -1,0 +1,274 @@
+"""Dispatch overhead: digest-deduped codec wire vs per-job pickle.
+
+Models the dispatch-bound regime the codec wire path
+(:mod:`repro.exec.wire`) exists for: a module of many *small* functions
+swept by several allocators through the worker pool, where
+serialization — not coloring — is the marginal cost.  Per sweep the
+bench times
+
+* the **serial** path — :func:`repro.pipeline.allocate_module` with no
+  pool, the single-process floor,
+* the **pool/pickle** path — the historical wire: one
+  ``(func, machine, allocator, options)`` pickle per job, and
+* the **pool/codec** path — control tuples of content digests, with
+  the codec blobs plus the pickled machine/allocator/options shipped
+  once per batch through one shared-memory segment,
+
+and reports each path's best sweep time, the headline ``speedup``
+(pool/pickle over pool/codec — both sides share a run and a machine,
+so runner speed divides out), the wire counters (blobs deduped, bytes
+shipped, segments), and an in-process microprofile of the new
+``dispatch/encode``, ``dispatch/shm``, and ``dispatch/decode`` phases.
+
+The workload leans small on purpose: two-statement straight-line
+functions over a wide (64-register) machine, so each job's pickle
+cost — function, machine and options serialized per job — rivals its
+coloring cost.  The function count stays under the worker-side decode
+and round-0 LRU bounds (64) so warm sweeps measure the caches, not
+their evictions.
+
+Exactness is asserted, not sampled: the concatenated
+``print_function`` digest of every sweep result must be byte-identical
+across serial and all three ``REPRO_WIRE`` modes (``pickle``,
+``codec``, and ``validate`` — the mode that re-checks every decoded
+function against a pickled oracle in the worker) before the report is
+written; any divergence fails the run.
+
+Run as a script to emit the machine-readable report::
+
+    PYTHONPATH=src python benchmarks/bench_dispatch_overhead.py \
+        --workers 2 --repeats 5 --out BENCH_dispatch_overhead.json
+
+``check_perf_regression.py --dispatch`` gates the committed report:
+the speedup floor is absolute (both wire modes share a run, so the
+figure is runner-independent).
+"""
+
+import argparse
+import hashlib
+import json
+import os
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.config import runtime_knobs
+from repro.exec import wire
+from repro.exec.alloctask import run_alloc_job
+from repro.exec.pool import WorkerPool
+from repro.ir.printer import print_function
+from repro.pipeline import allocate_module, prepare_module
+from repro.profiling import profiled
+from repro.regalloc import AllocationOptions
+from repro.service.schema import dataflow_backend_fields
+from repro.service.scheduler import ALLOCATOR_FACTORIES
+from repro.target.presets import make_machine
+from repro.workloads import BenchmarkProfile, generate_module
+
+#: pool-pickle over pool-codec speedup floor the committed report (and
+#: the CI gate) must hold on the small-function-heavy workload
+SPEEDUP_FLOOR = 1.5
+
+#: the sweep: cheap Chaitin-family allocators, so dispatch stays the
+#: marginal cost (the dedup story needs >1 batch over the same module)
+SWEEP = ("chaitin", "briggs")
+
+
+def git_commit() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True, text=True, timeout=10, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def small_function_module(n_functions: int, seed: int):
+    """Many tiny straight-line functions: dispatch-bound by design."""
+    profile = BenchmarkProfile(
+        name="dispatch", n_functions=n_functions, stmts=2, int_pool=6,
+        call_prob=0.15, branch_prob=0.05, loop_prob=0.0,
+        max_loop_depth=0, copy_prob=0.10, paired_prob=0.08,
+        load_prob=0.12, store_prob=0.04)
+    return generate_module(profile, seed=seed)
+
+
+def sweep_digest(allocations) -> str:
+    """One digest over every function of every sweep result, in order."""
+    acc = hashlib.sha256()
+    for alloc in allocations:
+        for result in alloc.results:
+            acc.update(print_function(result.func).encode())
+    return acc.hexdigest()
+
+
+def run_sweep(module, machine, options, pool):
+    return [
+        allocate_module(module, machine,
+                        allocator=ALLOCATOR_FACTORIES[name](),
+                        options=options, pool=pool)
+        for name in SWEEP
+    ]
+
+
+def time_pool_mode(mode, module, machine, options, workers, repeats):
+    """Best warm sweep time through a fresh pool in one wire mode."""
+    os.environ["REPRO_WIRE"] = mode
+    wire.reset_wire_stats()
+    pool = WorkerPool(workers=workers)
+    try:
+        digest = sweep_digest(run_sweep(module, machine, options, pool))
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            allocations = run_sweep(module, machine, options, pool)
+            best = min(best, time.perf_counter() - start)
+            assert sweep_digest(allocations) == digest, \
+                f"pool/{mode} sweep digest unstable across repeats"
+        return best, digest, wire.wire_stats()
+    finally:
+        pool.shutdown()
+
+
+def dispatch_microprofile(module, machine, options) -> dict:
+    """In-process pack+resolve of one batch, under the profiler, so the
+    report carries the ``dispatch/encode``/``shm``/``decode`` phase
+    split (in a real pool run the decode halves live in the workers)."""
+    os.environ["REPRO_WIRE"] = "codec"
+    prepared = prepare_module(module, machine)
+    allocator = ALLOCATOR_FACTORIES[SWEEP[0]]()
+    payloads = [(func, machine, allocator, options)
+                for func in prepared.functions]
+    wire.clear_decode_cache()
+    with profiled() as prof:
+        jobs, shipment = wire.pack_batch(payloads)
+        try:
+            for job in jobs:
+                run_alloc_job(job)
+        finally:
+            shipment.cleanup()
+    wire.clear_decode_cache()
+    return {path: stats for path, stats in prof.snapshot(digits=4).items()
+            if path.startswith("dispatch")}
+
+
+def run(n_functions: int, regs: int, workers: int, repeats: int,
+        seed: int) -> dict:
+    module = small_function_module(n_functions, seed)
+    machine = make_machine(regs)
+    options = AllocationOptions(verify=False, jobs=workers)
+    # jobs=1 keeps the baseline truly in-process: allocate_module
+    # reaches for the shared default pool whenever jobs > 1.
+    serial_options = AllocationOptions(verify=False, jobs=1)
+    n_instrs = sum(len(b.instrs) for f in module.functions
+                   for b in f.blocks)
+
+    serial_best = float("inf")
+    serial_digest = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        allocations = run_sweep(module, machine, serial_options, None)
+        serial_best = min(serial_best, time.perf_counter() - start)
+        serial_digest = sweep_digest(allocations)
+
+    pickle_best, pickle_digest, _ = time_pool_mode(
+        "pickle", module, machine, options, workers, repeats)
+    codec_best, codec_digest, codec_stats = time_pool_mode(
+        "codec", module, machine, options, workers, repeats)
+    # validate is the exactness mode, not a timed contender: one sweep
+    # that makes every worker re-check decode against the pickle oracle.
+    _, validate_digest, _ = time_pool_mode(
+        "validate", module, machine, options, workers, 1)
+
+    digests = {"serial": serial_digest, "pickle": pickle_digest,
+               "codec": codec_digest, "validate": validate_digest}
+    assert len(set(digests.values())) == 1, \
+        f"result digests diverge across wire modes: {digests}"
+
+    phases = dispatch_microprofile(module, machine, options)
+    os.environ["REPRO_WIRE"] = "codec"
+
+    jobs_packed = max(1, codec_stats["jobs_packed"])
+    return {
+        "kind": "dispatch_overhead",
+        "workload": {
+            "n_functions": n_functions,
+            "stmts": 2,
+            "instructions": n_instrs,
+            "seed": seed,
+        },
+        "regs": regs,
+        "workers": workers,
+        "repeats": repeats,
+        "sweep": list(SWEEP),
+        "python": sys.version.split()[0],
+        **dataflow_backend_fields(),
+        "knobs": runtime_knobs(),
+        "git_commit": git_commit(),
+        "hostname": socket.gethostname(),
+        "serial": {"best_s": round(serial_best, 4)},
+        "pool_pickle": {"best_s": round(pickle_best, 4)},
+        "pool_codec": {
+            "best_s": round(codec_best, 4),
+            "wire": {
+                "batches_packed": codec_stats["batches_packed"],
+                "jobs_packed": codec_stats["jobs_packed"],
+                "encodes": codec_stats["encodes"],
+                "encode_memo_hits": codec_stats["encode_memo_hits"],
+                "blobs_shipped": codec_stats["blobs_shipped"],
+                "bytes_shipped": codec_stats["bytes_shipped"],
+                "shm_segments": codec_stats["shm_segments"],
+                "inline_batches": codec_stats["inline_batches"],
+                "bytes_per_job": round(
+                    codec_stats["bytes_shipped"] / jobs_packed, 1),
+            },
+        },
+        "speedup": round(pickle_best / codec_best, 2),
+        "digest": serial_digest,
+        "digests_identical": True,  # asserted above
+        "dispatch_phases": phases,
+    }
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--functions", type=int, default=56,
+                        help="tiny functions per module (keep under the "
+                             "64-entry worker cache bounds)")
+    parser.add_argument("--regs", type=int, default=64,
+                        help="register count (wide: per-job machine "
+                             "pickling is part of the measured waste)")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", default="BENCH_dispatch_overhead.json")
+    args = parser.parse_args(argv)
+    if args.functions < 1 or args.repeats < 1 or args.workers < 1:
+        parser.error("--functions, --workers and --repeats must be >= 1")
+    report = run(args.functions, args.regs, args.workers, args.repeats,
+                 args.seed)
+    wire_stats = report["pool_codec"]["wire"]
+    print(f"dispatch sweep ({report['workload']['n_functions']} funcs x "
+          f"{len(report['sweep'])} allocators): "
+          f"serial {report['serial']['best_s']}s, "
+          f"pool/pickle {report['pool_pickle']['best_s']}s, "
+          f"pool/codec {report['pool_codec']['best_s']}s "
+          f"-> {report['speedup']}x "
+          f"({wire_stats['blobs_shipped']} blobs / "
+          f"{wire_stats['jobs_packed']} jobs, "
+          f"{wire_stats['bytes_per_job']} B/job)")
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    if report["speedup"] < SPEEDUP_FLOOR:
+        print(f"WARNING: speedup {report['speedup']} below the "
+              f"{SPEEDUP_FLOOR}x floor", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

@@ -45,6 +45,19 @@ also carry ``fingerprints_identical`` and ``modes_identical`` — the
 bench asserts per-edit result digests match the scratch path in all
 ``incremental_edits`` modes, and those flags prove the assertions ran.
 
+``--dispatch`` gates ``BENCH_dispatch_overhead.json`` reports.  The
+pool-pickle and pool-codec times come from the same run on the same
+machine, so the ``speedup`` figure is runner-independent and is checked
+like the edit gate: against the absolute 1.5x floor (scaled by the
+tolerance for noisy smoke runs) and against the committed report's
+speedup within tolerance.  Every fresh report must carry
+``digests_identical`` — the bench asserts the sweep results are
+byte-identical across serial and all three ``REPRO_WIRE`` modes, and
+that flag proves the assertion ran — and the codec run must show the
+cross-batch encode memo fielding hits (the dedup actually engaged)
+through real shared-memory segments unless the runner forced the
+inline fallback.
+
 ``--policy`` gates ``BENCH_policy_tuning.json`` reports.  The tuner's
 measurements are *simulated* cycle totals — deterministic, so unlike
 every wall-clock gate they are compared for exact equality: per family
@@ -205,6 +218,52 @@ def check_edit(fresh: dict, committed: dict, tolerance: float) -> list[str]:
     return failures
 
 
+#: absolute pool-pickle over pool-codec speedup floor for the
+#: small-function dispatch workload
+DISPATCH_SPEEDUP_FLOOR = 1.5
+
+
+def check_dispatch(fresh: dict, committed: dict,
+                   tolerance: float) -> list[str]:
+    """Gate a dispatch-overhead report: speedup floor + exactness."""
+    for side, report in (("fresh", fresh), ("committed", committed)):
+        if report.get("kind") != "dispatch_overhead":
+            raise SystemExit(
+                f"{side} report is not a dispatch_overhead report; "
+                "regenerate it with bench_dispatch_overhead.py"
+            )
+    failures = []
+    if not fresh.get("digests_identical"):
+        failures.append("fresh report lacks digests_identical — the "
+                        "bench's cross-mode exactness assertion did "
+                        "not run clean")
+    got, want = fresh["speedup"], committed["speedup"]
+    floor = DISPATCH_SPEEDUP_FLOOR * (1 - tolerance)
+    margin = got / want - 1.0
+    flag = " REGRESSION" if (-margin > tolerance or got < floor) else ""
+    print(f"{'dispatch speedup':>16} {want:>10.2f} {got:>10.2f} "
+          f"{margin:>+7.0%}{flag}  (floor {floor:.2f})")
+    if got < floor:
+        failures.append(
+            f"codec dispatch speedup {got:.2f}x below the "
+            f"{DISPATCH_SPEEDUP_FLOOR:.1f}x floor (tolerance-scaled "
+            f"{floor:.2f})")
+    if -margin > tolerance:
+        failures.append(
+            f"speedup {got:.2f}x vs committed {want:.2f}x "
+            f"(-{-margin:.0%} worse than -{tolerance:.0%} allowed)")
+    stats = fresh.get("pool_codec", {}).get("wire", {})
+    if stats.get("encode_memo_hits", 0) <= 0:
+        failures.append(
+            "codec wire encode memo fielded no hits — the cross-batch "
+            "digest dedup did not engage")
+    if (stats.get("shm_segments", 0) <= 0
+            and stats.get("inline_batches", 0) <= 0):
+        failures.append("codec wire recorded neither shared-memory "
+                        "segments nor inline batches")
+    return failures
+
+
 def check_policy(fresh: dict, committed: dict) -> list[str]:
     """Gate a policy-tuning report: exact reproduction + no regression."""
     for side, report in (("fresh", fresh), ("committed", committed)):
@@ -336,11 +395,16 @@ def main(argv=None) -> int:
                         help="gate BENCH_policy_tuning.json reports on "
                              "exact measurement reproduction, the "
                              "no-regression rule, and the preset digest")
+    parser.add_argument("--dispatch", action="store_true",
+                        help="gate BENCH_dispatch_overhead.json reports "
+                             "on the pool-pickle over pool-codec "
+                             "speedup floor, the committed speedup, "
+                             "and the cross-mode exactness flag")
     args = parser.parse_args(argv)
     if sum((args.selector, args.dataflow, args.cluster, args.edit,
-            args.policy)) > 1:
-        parser.error("--selector, --dataflow, --cluster, --edit and "
-                     "--policy are mutually exclusive")
+            args.policy, args.dispatch)) > 1:
+        parser.error("--selector, --dataflow, --cluster, --edit, "
+                     "--policy and --dispatch are mutually exclusive")
 
     fresh = json.loads(args.fresh.read_text())
     committed = json.loads(args.committed.read_text())
@@ -353,6 +417,17 @@ def main(argv=None) -> int:
                 print(f"  - {line}", file=sys.stderr)
             return 1
         print("\npolicy tuning gate passed (exact reproduction)")
+        return 0
+
+    if args.dispatch:
+        failures = check_dispatch(fresh, committed, args.tolerance)
+        if failures:
+            print("\ndispatch overhead gate FAILED:", file=sys.stderr)
+            for line in failures:
+                print(f"  - {line}", file=sys.stderr)
+            return 1
+        print("\ndispatch overhead gate passed "
+              f"(tolerance {args.tolerance:.0%})")
         return 0
 
     if args.edit:

@@ -38,6 +38,7 @@ Three resilience mechanisms compose around that straight path:
 from __future__ import annotations
 
 import asyncio
+import hashlib
 import json
 import threading
 import time
@@ -156,10 +157,18 @@ class ClusterRouter:
     # -- content addressing --------------------------------------------
 
     def _digest_for(self, request: AllocationRequest) -> str:
-        """The request's cache key — identical to the shard's own."""
+        """The request's cache key — identical to the shard's own.
+
+        The memo key compacts the IR component to a sha256 of the raw
+        request text (the memo used to hold the full text per entry, so
+        a 256-entry memo over large modules pinned megabytes); the memo
+        *value* remains the shard-identical ``request_fingerprint``, so
+        forwarded hints are byte-for-byte unchanged.
+        """
         options = request.options
         key = (
-            request.ir if request.ir is not None
+            hashlib.sha256(request.ir.encode()).hexdigest()
+            if request.ir is not None
             else ("bench", request.bench),
             request.machine.regs,
             request.machine.has_paired_loads,

@@ -1,6 +1,6 @@
 """Single reader for the strategy-only environment knobs.
 
-The repo grew five result-neutral environment variables — each picks
+The repo grew seven result-neutral environment variables — each picks
 *how* results are computed, never *what*:
 
 * ``REPRO_SELECT_INDEX``       — indexed vs. scanned decision loops
@@ -8,6 +8,8 @@ The repo grew five result-neutral environment variables — each picks
 * ``REPRO_INCREMENTAL_ROUNDS`` — spill-round re-analysis patching
 * ``REPRO_INCREMENTAL_EDITS``  — edit-delta session patching
 * ``REPRO_NO_NUMPY``           — suppress the numpy import entirely
+* ``REPRO_WIRE``               — pool dispatch wire (pickle vs. codec)
+* ``REPRO_ROUND0_CACHE``       — worker round-0 analysis LRU bound
 
 Historically each consumer read ``os.environ`` itself; this module is
 now the one place those variables are consulted (``knob_env``), and
@@ -39,6 +41,8 @@ KNOB_ENV_VARS = (
     "REPRO_INCREMENTAL_ROUNDS",
     "REPRO_INCREMENTAL_EDITS",
     "REPRO_NO_NUMPY",
+    "REPRO_WIRE",
+    "REPRO_ROUND0_CACHE",
 )
 
 
@@ -70,6 +74,8 @@ def runtime_knobs() -> dict:
         incremental_edits_mode,
         incremental_mode,
     )
+    from repro.exec.alloctask import round0_cache_max
+    from repro.exec.wire import wire_mode
     from repro.regalloc.worklist import select_index_mode
 
     return {
@@ -78,5 +84,7 @@ def runtime_knobs() -> dict:
         "incremental_rounds": incremental_mode(),
         "incremental_edits": incremental_edits_mode(),
         "numpy": matrix.numpy_version(),
+        "wire": wire_mode(),
+        "round0_cache": round0_cache_max(),
         "env": knob_env_snapshot(),
     }

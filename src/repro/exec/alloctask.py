@@ -1,20 +1,29 @@
 """The allocation job executed inside worker-pool processes.
 
-One payload is ``(prepared_func, machine, allocator, options)`` —
-exactly what :func:`repro.pipeline._allocate_one` consumes serially —
-and the return value is ``(AllocationResult, CycleReport)``.
+One payload is either the serial tuple ``(prepared_func, machine,
+allocator, options)`` — exactly what
+:func:`repro.pipeline._allocate_one` consumes — or, on the codec wire
+path, a digest-reference control tuple (see :mod:`repro.exec.wire`)
+that resolves to the same tuple plus precomputed content digests.  The return value is
+``(AllocationResult, CycleReport)`` either way.
 
-The worker keeps a **warm round-0 analysis cache** keyed by *content*
-(printed function text + machine register model + collection mode), not
-by object identity: every batch pickles fresh ``Function`` objects into
-the worker, but renumbering is deterministic, so the round-0 analyses
-of any copy of a prepared function are value-identical (the same
-argument that backs :func:`repro.pipeline.round0_analyses`).  A service
-sweeping eight allocators over one module therefore analyzes each
-function once per worker, not once per job — and the results remain
-byte-identical to a cold serial run.
+The worker keeps a **warm round-0 analysis cache** keyed by *content*,
+not by object identity: every batch ships fresh ``Function`` copies
+into the worker, but renumbering is deterministic, so the round-0
+analyses of any copy of a prepared function are value-identical (the
+same argument that backs :func:`repro.pipeline.round0_analyses`).  The
+content key is the codec digest (``sha256`` of
+:func:`repro.ir.codec.encode_function`) plus the machine's register
+model — on the codec wire path both digests arrive *with* the job, so
+keying the cache costs nothing; the pickle path computes the same
+digests locally (replacing the historical print-then-hash key).  A
+service sweeping eight allocators over one module therefore analyzes
+each function once per worker, not once per job — and the results
+remain byte-identical to a cold serial run.
 
-Options travel *in the payload*, never through worker environment
+The cache bound is the ``REPRO_ROUND0_CACHE`` strategy knob (default
+64 entries), surfaced by ``repro stats --knobs`` like every knob;
+options travel *in the payload*, never through worker environment
 variables: a persistent worker forked long ago must honor the caller's
 current ``incremental`` mode, not whatever ``os.environ`` said at spawn
 time.
@@ -22,41 +31,61 @@ time.
 
 from __future__ import annotations
 
-import hashlib
 from collections import OrderedDict
 
-__all__ = ["run_alloc_job", "round0_cache_info", "clear_round0_cache"]
+__all__ = ["run_alloc_job", "round0_cache_info", "clear_round0_cache",
+           "round0_cache_max"]
 
 #: content key -> RoundAnalyses (per worker process, bounded LRU)
-_ROUND0_CACHE: "OrderedDict[str, object]" = OrderedDict()
-_ROUND0_CACHE_MAX = 64
+_ROUND0_CACHE: "OrderedDict[tuple, object]" = OrderedDict()
+_ROUND0_CACHE_DEFAULT_MAX = 64
 _hits = 0
 _misses = 0
 
 
-def _content_key(func, machine, collect: bool, policy) -> str:
-    from repro.ir.printer import print_function
-    from repro.reporting import canonical_json
-    from repro.service.protocol import machine_descriptor
+def round0_cache_max() -> int:
+    """The round-0 LRU bound: ``REPRO_ROUND0_CACHE`` (default 64)."""
+    from repro.config import knob_env
 
-    payload = (
-        print_function(func)
-        + canonical_json(machine_descriptor(machine))
-        + ("+deltas" if collect else "")
+    raw = knob_env("REPRO_ROUND0_CACHE")
+    if raw is None or not str(raw).strip():
+        return _ROUND0_CACHE_DEFAULT_MAX
+    try:
+        return max(1, int(str(raw).strip()))
+    except ValueError:
+        return _ROUND0_CACHE_DEFAULT_MAX
+
+
+def _content_key(func, machine, collect: bool, policy,
+                 func_digest: str | None = None,
+                 machine_digest: str | None = None) -> tuple:
+    from repro.exec.wire import machine_content_digest
+    from repro.ir.codec import function_digest
+
+    if func_digest is None:
+        func_digest = function_digest(func)
+    if machine_digest is None:
+        machine_digest = machine_content_digest(machine)
+    return (
+        func_digest,
+        machine_digest,
+        collect,
         # Default policy adds nothing: keys (and so warm entries) are
         # unchanged for all pre-policy traffic.
-        + ("" if policy.is_default() else "+policy:" + policy.digest())
+        None if policy.is_default() else policy.digest(),
     )
-    return hashlib.sha256(payload.encode()).hexdigest()
 
 
-def _warm_round0(func, machine, collect: bool, policy):
+def _warm_round0(func, machine, collect: bool, policy,
+                 func_digest: str | None = None,
+                 machine_digest: str | None = None):
     global _hits, _misses
     from repro.analysis.renumber import renumber
     from repro.ir.clone import clone_function
     from repro.regalloc.base import compute_round_analyses
 
-    key = _content_key(func, machine, collect, policy)
+    key = _content_key(func, machine, collect, policy,
+                       func_digest, machine_digest)
     cached = _ROUND0_CACHE.get(key)
     if cached is not None:
         _ROUND0_CACHE.move_to_end(key)
@@ -68,23 +97,32 @@ def _warm_round0(func, machine, collect: bool, policy):
     analyses = compute_round_analyses(ref, collect_deltas=collect,
                                       policy=policy)
     _ROUND0_CACHE[key] = analyses
-    while len(_ROUND0_CACHE) > _ROUND0_CACHE_MAX:
+    limit = round0_cache_max()
+    while len(_ROUND0_CACHE) > limit:
         _ROUND0_CACHE.popitem(last=False)
     return analyses
 
 
 def run_alloc_job(payload):
     """Allocate one prepared function; the pool's default task."""
+    from repro.exec.wire import is_wire_job, resolve_job
     from repro.regalloc.base import allocate_function
     from repro.regalloc.verify import verify_allocation
     from repro.sim.cycles import estimate_cycles
 
-    func, machine, allocator, options = payload
+    func_digest = machine_digest = None
+    if is_wire_job(payload):
+        (func, machine, allocator, options,
+         func_digest, machine_digest) = resolve_job(payload)
+    else:
+        func, machine, allocator, options = payload
     round0 = None
     if options.reuse_analyses:
         round0 = _warm_round0(func, machine,
                               collect=options.incremental != "off",
-                              policy=options.policy)
+                              policy=options.policy,
+                              func_digest=func_digest,
+                              machine_digest=machine_digest)
     result = allocate_function(func, machine, allocator,
                                options=options, round0=round0)
     if options.verify:

@@ -45,6 +45,7 @@ from __future__ import annotations
 import atexit
 import importlib
 import multiprocessing
+import multiprocessing.connection
 import os
 import pickle
 import queue
@@ -72,6 +73,12 @@ __all__ = [
 
 #: Exit code of a fault-injected crash (visible in worker stats).
 _CRASH_EXIT = 71
+
+#: Upper bound on one idle wait of the batch drive loop (seconds).
+#: Result arrival interrupts the wait (``connection.wait`` on the
+#: outbox pipes), so the bound only caps how stale the police pass
+#: (deadlines, heartbeats, corpse detection) can get.
+_IDLE_WAIT_MAX = 0.005
 
 #: The allocation task; resolved inside the worker on first use.
 DEFAULT_TASK = "repro.exec.alloctask:run_alloc_job"
@@ -153,11 +160,12 @@ def _worker_main(slot: int, inbox, outbox, beats, task_spec,
         except BaseException as err:  # the pool decides what propagates
             message = ("err", slot, seq, err)
         try:
-            blob = pickle.dumps(message)
+            blob = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
         except Exception as err:
             blob = pickle.dumps(("err", slot, seq, RuntimeError(
                 f"result of job {seq} could not cross the process "
-                f"boundary: {type(err).__name__}: {err}")))
+                f"boundary: {type(err).__name__}: {err}")),
+                protocol=pickle.HIGHEST_PROTOCOL)
         outbox.put(blob)
         beats[slot] = time.time()
 
@@ -378,40 +386,81 @@ class WorkerPool:
         with self._lock:
             self._ensure_started_locked()
             self.counters["batches"] += 1
-            jobs = []
-            for payload in payloads:
-                jobs.append(_Job(seq=self._seq, payload=payload,
-                                 deadline_s=deadline_s))
-                self._seq += 1
-            self.counters["jobs_submitted"] += len(jobs)
-            results: dict[int, JobResult] = {}
-            pending = deque(jobs)
-            while len(results) < len(jobs):
-                if not self._dispatchable() and not pending_in_flight(
-                        self._slots):
-                    # Nobody alive to run anything and nothing running:
-                    # fail whatever is still pending.
-                    now = time.monotonic()
-                    still = [j for j in pending if j.seq not in results]
-                    if still and all(j.not_before <= now for j in still):
-                        for job in still:
-                            self._record_failure(results, job, "crash",
-                                                 "no live workers left")
-                        pending.clear()
-                        continue
-                self._dispatch(pending, results)
-                progressed = self._drain(results, pending)
-                self._police(results, pending)
-                if not progressed:
-                    time.sleep(0.005)
-            for job in jobs:
-                res = results[job.seq]
-                self.counters["jobs_" + ("ok" if res.ok else
-                                         {"error": "error",
-                                          "crash": "crashed",
-                                          "deadline": "deadline"}[res.kind]
-                                         )] += 1
-            return [results[job.seq] for job in jobs]
+            shipment = None
+            if self.task == DEFAULT_TASK:
+                # Alloc-task payloads may travel digest-deduped through
+                # shared memory (REPRO_WIRE); the segment belongs to
+                # this batch — retries re-read it — and is released
+                # only once every job resolved.
+                from repro.exec import wire
+
+                payloads, shipment = wire.pack_batch(payloads)
+            try:
+                return self._run_batch_locked(payloads, deadline_s)
+            finally:
+                if shipment is not None:
+                    shipment.cleanup()
+
+    def _run_batch_locked(self, payloads, deadline_s: float | None
+                          ) -> list[JobResult]:
+        jobs = []
+        for payload in payloads:
+            jobs.append(_Job(seq=self._seq, payload=payload,
+                             deadline_s=deadline_s))
+            self._seq += 1
+        self.counters["jobs_submitted"] += len(jobs)
+        results: dict[int, JobResult] = {}
+        pending = deque(jobs)
+        while len(results) < len(jobs):
+            if not self._dispatchable() and not pending_in_flight(
+                    self._slots):
+                # Nobody alive to run anything and nothing running:
+                # fail whatever is still pending.
+                now = time.monotonic()
+                still = [j for j in pending if j.seq not in results]
+                if still and all(j.not_before <= now for j in still):
+                    for job in still:
+                        self._record_failure(results, job, "crash",
+                                             "no live workers left")
+                    pending.clear()
+                    continue
+            self._dispatch(pending, results)
+            progressed = self._drain(results, pending)
+            self._police(results, pending)
+            if not progressed:
+                self._await_results(_IDLE_WAIT_MAX)
+        for job in jobs:
+            res = results[job.seq]
+            self.counters["jobs_" + ("ok" if res.ok else
+                                     {"error": "error",
+                                      "crash": "crashed",
+                                      "deadline": "deadline"}[res.kind]
+                                     )] += 1
+        return [results[job.seq] for job in jobs]
+
+    def _await_results(self, timeout: float) -> None:
+        """Sleep until a worker writes a result (or ``timeout``).
+
+        Short-job batches used to be quantized to a fixed polling
+        sleep, which dominated batch wall time once payload
+        serialization got cheap; waiting on the outbox pipes wakes the
+        drive loop the moment a result lands.
+        """
+        readers = []
+        for slot in self._slots:
+            outbox = slot.outbox
+            reader = getattr(outbox, "_reader", None)
+            if reader is not None and not reader.closed:
+                readers.append(reader)
+        if not readers:
+            time.sleep(timeout)
+            return
+        try:
+            multiprocessing.connection.wait(readers, timeout=timeout)
+        except OSError:
+            # A pipe died mid-wait (worker killed); the police pass
+            # handles the corpse.
+            time.sleep(0.0005)
 
     def _dispatchable(self) -> bool:
         if any(s.process is not None and s.process.is_alive()

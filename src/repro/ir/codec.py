@@ -1,0 +1,576 @@
+"""Compact, versioned, deterministic binary encoding of ``Function``.
+
+The codec exists for one contract: **equal IR encodes to equal bytes**,
+so ``sha256(encode_function(f))`` is a content key.  Two value-identical
+functions — clones, re-parses of the same text, the same function
+pickled into another process — produce byte-identical blobs, which lets
+the worker pool ship each distinct function once per batch keyed by
+digest (:mod:`repro.exec.wire`) and lets the round-0 analysis cache in
+:mod:`repro.exec.alloctask` key entries without re-printing the
+function text on every job.
+
+Wire layout (all multi-byte scalars big-endian)::
+
+    magic   b"RIRC"                      4 bytes
+    version 0x01                         1 byte
+    length  len(payload)                 u32
+    crc32   zlib.crc32(payload)          u32
+    payload
+
+and the payload::
+
+    string table   uvarint count, then per string uvarint len + utf8
+    value table    uvarint count, then tagged entries (below)
+    function       name strref, flag byte (bit0 returns_value),
+                   uvarint next_vreg_id, uvarint next_slot,
+                   uvarint n_params + param valrefs (must be VRegs),
+                   uvarint n_blocks + blocks
+    block          label strref, uvarint n_instrs + instructions
+
+Strings (function name, opcodes, labels, callees, register names, load
+widths) and values (``VReg``/``PReg``/``Const``) are interned in
+first-use order during a fixed structural traversal, so the tables —
+and therefore the bytes — are a pure function of IR content.  Operands
+reference table indices as uvarints; signed scalars (constants, memory
+offsets) are zigzag varints; float constants are 8-byte IEEE-754
+doubles (exact round-trip, so the printer renders the decoded value
+identically).
+
+Value-table entries::
+
+    0x00 VReg   flags (1 float, 2 no_spill, 4 named), uvarint id, [strref]
+    0x01 PReg   flags (1 float, 4 named), uvarint index, [strref]
+    0x02 Const  flags (1 float class), tag byte 0x00 int / 0x01 float,
+                then zigzag varint or f64
+
+Instruction opcodes::
+
+    0x00 ConstInst(int)    dst, zigzag value
+    0x01 ConstInst(float)  dst, f64 value
+    0x02 Move              dst, src
+    0x03 UnaryOp           op strref, dst, src
+    0x04 BinOp             op strref, dst, lhs, rhs
+    0x05 Load              dst, base, zigzag offset, width strref
+    0x06 Store             base, zigzag offset, src
+    0x07 Call              callee strref, args, flag+[dst],
+                           reg_uses (PRegs), reg_defs (PRegs)
+    0x08 Phi               dst, uvarint n + (label strref, valref) pairs
+                           in insertion order
+    0x09 Jump              target strref
+    0x0a Branch            cond, iftrue strref, iffalse strref
+    0x0b Ret               flag+[src], reg_uses (PRegs)
+    0x0c SpillLoad         dst, uvarint slot
+    0x0d SpillStore        uvarint slot, src
+
+Decoding validates everything — magic, version, declared length, crc32,
+every table index, every operand kind the IR type demands (destinations
+are registers, params are VRegs, convention registers are PRegs) — and
+raises :class:`repro.errors.CodecError` on any violation; a truncated
+or bit-flipped blob can never decode into garbage IR.  Version bumps
+are explicit: an old reader rejects a new blob by version byte instead
+of misparsing it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+import zlib
+
+from repro.errors import CodecError
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import (
+    BinOp,
+    Branch,
+    Call,
+    ConstInst,
+    Jump,
+    Load,
+    Move,
+    Phi,
+    Ret,
+    SpillLoad,
+    SpillStore,
+    Store,
+    UnaryOp,
+)
+from repro.ir.values import Const, PReg, RegClass, VReg
+
+__all__ = [
+    "encode_function",
+    "decode_function",
+    "function_digest",
+    "module_digest",
+    "CODEC_VERSION",
+    "CodecError",
+]
+
+MAGIC = b"RIRC"
+CODEC_VERSION = 1
+_HEADER = struct.Struct(">4sBII")
+_F64 = struct.Struct(">d")
+
+_VAL_VREG, _VAL_PREG, _VAL_CONST = 0, 1, 2
+(_OP_CONST_INT, _OP_CONST_FLOAT, _OP_MOVE, _OP_UNARY, _OP_BIN, _OP_LOAD,
+ _OP_STORE, _OP_CALL, _OP_PHI, _OP_JUMP, _OP_BRANCH, _OP_RET,
+ _OP_SPILL_LOAD, _OP_SPILL_STORE) = range(14)
+
+
+def _uvarint(out: bytearray, n: int) -> None:
+    if n < 0:
+        raise CodecError(f"negative count/index {n} is not encodable")
+    while True:
+        byte = n & 0x7F
+        n >>= 7
+        if n:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _zigzag(out: bytearray, n: int) -> None:
+    _uvarint(out, (n << 1) if n >= 0 else ((-n) << 1) - 1)
+
+
+class _Encoder:
+    """Interning tables plus the body buffer of one function."""
+
+    def __init__(self) -> None:
+        self.body = bytearray()
+        self._strings: dict[str, int] = {}
+        self._str_table: list[str] = []
+        self._values: dict[tuple, int] = {}
+        self._val_table = bytearray()
+        self._n_values = 0
+
+    def strref(self, text: str, out: bytearray | None = None) -> None:
+        if not isinstance(text, str):
+            raise CodecError(f"expected a string operand, got {text!r}")
+        index = self._strings.get(text)
+        if index is None:
+            index = self._strings[text] = len(self._str_table)
+            self._str_table.append(text)
+        _uvarint(self.body if out is None else out, index)
+
+    def valref(self, value) -> None:
+        # Interning must not conflate ``Const(1)`` with ``Const(1.0)``
+        # (dataclass equality would: ``1 == 1.0``), so Const keys carry
+        # the concrete value type.
+        if isinstance(value, VReg):
+            key = ("v", value.id, value.rclass, value.name, value.no_spill)
+        elif isinstance(value, PReg):
+            key = ("p", value.index, value.rclass, value.name)
+        elif isinstance(value, Const):
+            key = ("c", value.rclass, type(value.value), value.value)
+        else:
+            raise CodecError(f"unencodable operand {value!r} "
+                             f"({type(value).__name__})")
+        index = self._values.get(key)
+        if index is None:
+            index = self._values[key] = self._n_values
+            self._n_values += 1
+            self._encode_value(value)
+        _uvarint(self.body, index)
+
+    def regref(self, value) -> None:
+        if not isinstance(value, (VReg, PReg)):
+            raise CodecError(f"destination must be a register, "
+                             f"got {value!r}")
+        self.valref(value)
+
+    def _encode_value(self, value) -> None:
+        out = self._val_table
+        if isinstance(value, VReg):
+            out.append(_VAL_VREG)
+            out.append((1 if value.rclass is RegClass.FLOAT else 0)
+                       | (2 if value.no_spill else 0)
+                       | (4 if value.name is not None else 0))
+            _uvarint(out, value.id)
+            if value.name is not None:
+                self.strref(value.name, out)
+        elif isinstance(value, PReg):
+            out.append(_VAL_PREG)
+            out.append((1 if value.rclass is RegClass.FLOAT else 0)
+                       | (4 if value.name is not None else 0))
+            _uvarint(out, value.index)
+            if value.name is not None:
+                self.strref(value.name, out)
+        else:
+            out.append(_VAL_CONST)
+            out.append(1 if value.rclass is RegClass.FLOAT else 0)
+            if type(value.value) is int:
+                out.append(0)
+                _zigzag(out, value.value)
+            elif type(value.value) is float:
+                out.append(1)
+                out.extend(_F64.pack(value.value))
+            else:
+                raise CodecError(f"unencodable immediate "
+                                 f"{value.value!r} "
+                                 f"({type(value.value).__name__})")
+
+    def payload(self) -> bytes:
+        head = bytearray()
+        _uvarint(head, len(self._str_table))
+        for text in self._str_table:
+            raw = text.encode("utf-8")
+            _uvarint(head, len(raw))
+            head.extend(raw)
+        _uvarint(head, self._n_values)
+        head.extend(self._val_table)
+        return bytes(head + self.body)
+
+
+def _encode_instr(enc: _Encoder, instr) -> None:
+    body = enc.body
+    if isinstance(instr, ConstInst):
+        if type(instr.value) is int:
+            body.append(_OP_CONST_INT)
+            enc.regref(instr.dst)
+            _zigzag(body, instr.value)
+        elif type(instr.value) is float:
+            body.append(_OP_CONST_FLOAT)
+            enc.regref(instr.dst)
+            body.extend(_F64.pack(instr.value))
+        else:
+            raise CodecError(f"unencodable constant {instr.value!r} "
+                             f"({type(instr.value).__name__})")
+    elif isinstance(instr, Move):
+        body.append(_OP_MOVE)
+        enc.regref(instr.dst)
+        enc.valref(instr.src)
+    elif isinstance(instr, UnaryOp):
+        body.append(_OP_UNARY)
+        enc.strref(instr.op)
+        enc.regref(instr.dst)
+        enc.valref(instr.src)
+    elif isinstance(instr, BinOp):
+        body.append(_OP_BIN)
+        enc.strref(instr.op)
+        enc.regref(instr.dst)
+        enc.valref(instr.lhs)
+        enc.valref(instr.rhs)
+    elif isinstance(instr, Load):
+        body.append(_OP_LOAD)
+        enc.regref(instr.dst)
+        enc.valref(instr.base)
+        _zigzag(body, instr.offset)
+        enc.strref(instr.width)
+    elif isinstance(instr, Store):
+        body.append(_OP_STORE)
+        enc.valref(instr.base)
+        _zigzag(body, instr.offset)
+        enc.valref(instr.src)
+    elif isinstance(instr, Call):
+        body.append(_OP_CALL)
+        enc.strref(instr.callee)
+        _uvarint(body, len(instr.args))
+        for arg in instr.args:
+            enc.valref(arg)
+        if instr.dst is not None:
+            body.append(1)
+            enc.regref(instr.dst)
+        else:
+            body.append(0)
+        for regs in (instr.reg_uses, instr.reg_defs):
+            _uvarint(body, len(regs))
+            for reg in regs:
+                if not isinstance(reg, PReg):
+                    raise CodecError(f"convention register must be a "
+                                     f"PReg, got {reg!r}")
+                enc.valref(reg)
+    elif isinstance(instr, Phi):
+        body.append(_OP_PHI)
+        enc.regref(instr.dst)
+        _uvarint(body, len(instr.incoming))
+        for label, value in instr.incoming.items():
+            enc.strref(label)
+            enc.valref(value)
+    elif isinstance(instr, Jump):
+        body.append(_OP_JUMP)
+        enc.strref(instr.target)
+    elif isinstance(instr, Branch):
+        body.append(_OP_BRANCH)
+        enc.valref(instr.cond)
+        enc.strref(instr.iftrue)
+        enc.strref(instr.iffalse)
+    elif isinstance(instr, Ret):
+        body.append(_OP_RET)
+        if instr.src is not None:
+            body.append(1)
+            enc.valref(instr.src)
+        else:
+            body.append(0)
+        _uvarint(body, len(instr.reg_uses))
+        for reg in instr.reg_uses:
+            if not isinstance(reg, PReg):
+                raise CodecError(f"convention register must be a PReg, "
+                                 f"got {reg!r}")
+            enc.valref(reg)
+    elif isinstance(instr, SpillLoad):
+        body.append(_OP_SPILL_LOAD)
+        enc.regref(instr.dst)
+        _uvarint(body, instr.slot)
+    elif isinstance(instr, SpillStore):
+        body.append(_OP_SPILL_STORE)
+        _uvarint(body, instr.slot)
+        enc.valref(instr.src)
+    else:
+        raise CodecError(f"unencodable instruction "
+                         f"{type(instr).__name__}")
+
+
+def encode_function(func: Function) -> bytes:
+    """``func`` as a self-contained, digest-stable binary blob."""
+    enc = _Encoder()
+    body = enc.body
+    enc.strref(func.name)
+    body.append(1 if func.returns_value else 0)
+    _uvarint(body, func.next_vreg_id)
+    _uvarint(body, func.next_slot)
+    _uvarint(body, len(func.params))
+    for param in func.params:
+        if not isinstance(param, VReg):
+            raise CodecError(f"parameter must be a VReg, got {param!r}")
+        enc.valref(param)
+    _uvarint(body, len(func.blocks))
+    for block in func.blocks:
+        enc.strref(block.label)
+        _uvarint(body, len(block.instrs))
+        for instr in block.instrs:
+            _encode_instr(enc, instr)
+    payload = enc.payload()
+    return _HEADER.pack(MAGIC, CODEC_VERSION, len(payload),
+                        zlib.crc32(payload)) + payload
+
+
+class _Reader:
+    """Bounds-checked cursor over the payload."""
+
+    __slots__ = ("data", "pos", "end")
+
+    def __init__(self, data: bytes, pos: int, end: int) -> None:
+        self.data = data
+        self.pos = pos
+        self.end = end
+
+    def u8(self) -> int:
+        if self.pos >= self.end:
+            raise CodecError("truncated blob: expected a byte")
+        byte = self.data[self.pos]
+        self.pos += 1
+        return byte
+
+    def take(self, n: int) -> bytes:
+        if self.pos + n > self.end:
+            raise CodecError(f"truncated blob: expected {n} bytes")
+        raw = self.data[self.pos:self.pos + n]
+        self.pos += n
+        return raw
+
+    def uvarint(self) -> int:
+        result = 0
+        shift = 0
+        while True:
+            byte = self.u8()
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return result
+            shift += 7
+
+    def zigzag(self) -> int:
+        raw = self.uvarint()
+        return (raw >> 1) if not raw & 1 else -((raw + 1) >> 1)
+
+    def f64(self) -> float:
+        return _F64.unpack(self.take(8))[0]
+
+
+class _Decoder:
+    def __init__(self, reader: _Reader) -> None:
+        self.r = reader
+        self.strings: list[str] = []
+        self.values: list = []
+
+    def load_tables(self) -> None:
+        r = self.r
+        for _ in range(r.uvarint()):
+            raw = r.take(r.uvarint())
+            try:
+                self.strings.append(raw.decode("utf-8"))
+            except UnicodeDecodeError as err:
+                raise CodecError(f"corrupt string table: {err}") from err
+        for _ in range(r.uvarint()):
+            self.values.append(self._decode_value())
+
+    def _decode_value(self):
+        r = self.r
+        tag = r.u8()
+        if tag == _VAL_VREG:
+            flags = r.u8()
+            vid = r.uvarint()
+            name = self.string() if flags & 4 else None
+            return VReg(vid,
+                        RegClass.FLOAT if flags & 1 else RegClass.INT,
+                        name, bool(flags & 2))
+        if tag == _VAL_PREG:
+            flags = r.u8()
+            index = r.uvarint()
+            name = self.string() if flags & 4 else None
+            return PReg(index,
+                        RegClass.FLOAT if flags & 1 else RegClass.INT,
+                        name)
+        if tag == _VAL_CONST:
+            rclass = RegClass.FLOAT if r.u8() & 1 else RegClass.INT
+            kind = r.u8()
+            if kind == 0:
+                return Const(r.zigzag(), rclass)
+            if kind == 1:
+                return Const(r.f64(), rclass)
+            raise CodecError(f"unknown immediate kind {kind}")
+        raise CodecError(f"unknown value tag {tag}")
+
+    def string(self) -> str:
+        index = self.r.uvarint()
+        if index >= len(self.strings):
+            raise CodecError(f"string index {index} out of range")
+        return self.strings[index]
+
+    def value(self):
+        index = self.r.uvarint()
+        if index >= len(self.values):
+            raise CodecError(f"value index {index} out of range")
+        return self.values[index]
+
+    def register(self):
+        value = self.value()
+        if not isinstance(value, (VReg, PReg)):
+            raise CodecError(f"expected a register operand, "
+                             f"got {value!r}")
+        return value
+
+    def preg(self) -> PReg:
+        value = self.value()
+        if not isinstance(value, PReg):
+            raise CodecError(f"expected a physical register, "
+                             f"got {value!r}")
+        return value
+
+    def instr(self):
+        r = self.r
+        op = r.u8()
+        if op == _OP_CONST_INT:
+            return ConstInst(self.register(), r.zigzag())
+        if op == _OP_CONST_FLOAT:
+            return ConstInst(self.register(), r.f64())
+        if op == _OP_MOVE:
+            return Move(self.register(), self.value())
+        if op == _OP_UNARY:
+            return UnaryOp(self.string(), self.register(), self.value())
+        if op == _OP_BIN:
+            return BinOp(self.string(), self.register(), self.value(),
+                         self.value())
+        if op == _OP_LOAD:
+            dst, base = self.register(), self.value()
+            return Load(dst, base, r.zigzag(), self.string())
+        if op == _OP_STORE:
+            base = self.value()
+            offset = r.zigzag()
+            return Store(base, offset, self.value())
+        if op == _OP_CALL:
+            callee = self.string()
+            args = [self.value() for _ in range(r.uvarint())]
+            dst = self.register() if r.u8() & 1 else None
+            reg_uses = [self.preg() for _ in range(r.uvarint())]
+            reg_defs = [self.preg() for _ in range(r.uvarint())]
+            return Call(callee, args, dst, reg_uses, reg_defs)
+        if op == _OP_PHI:
+            dst = self.register()
+            incoming = {}
+            for _ in range(r.uvarint()):
+                incoming[self.string()] = self.value()
+            return Phi(dst, incoming)
+        if op == _OP_JUMP:
+            return Jump(self.string())
+        if op == _OP_BRANCH:
+            return Branch(self.value(), self.string(), self.string())
+        if op == _OP_RET:
+            src = self.value() if r.u8() & 1 else None
+            return Ret(src, [self.preg() for _ in range(r.uvarint())])
+        if op == _OP_SPILL_LOAD:
+            return SpillLoad(self.register(), r.uvarint())
+        if op == _OP_SPILL_STORE:
+            slot = r.uvarint()
+            return SpillStore(slot, self.value())
+        raise CodecError(f"unknown opcode {op}")
+
+
+def decode_function(blob: bytes) -> Function:
+    """The :class:`Function` a blob encodes; :class:`CodecError` on any
+    truncation, corruption, or version mismatch."""
+    if len(blob) < _HEADER.size:
+        raise CodecError(f"blob of {len(blob)} bytes is shorter than "
+                         f"the {_HEADER.size}-byte header")
+    magic, version, length, crc = _HEADER.unpack_from(blob)
+    if magic != MAGIC:
+        raise CodecError(f"bad magic {magic!r} (want {MAGIC!r})")
+    if version != CODEC_VERSION:
+        raise CodecError(f"unsupported codec version {version} "
+                         f"(this reader speaks {CODEC_VERSION})")
+    if len(blob) != _HEADER.size + length:
+        raise CodecError(f"declared payload of {length} bytes, "
+                         f"found {len(blob) - _HEADER.size}")
+    payload = blob[_HEADER.size:]
+    if zlib.crc32(payload) != crc:
+        raise CodecError("payload checksum mismatch (corrupted blob)")
+    try:
+        dec = _Decoder(_Reader(blob, _HEADER.size, len(blob)))
+        dec.load_tables()
+        r = dec.r
+        name = dec.string()
+        flags = r.u8()
+        next_vreg_id = r.uvarint()
+        next_slot = r.uvarint()
+        params = []
+        for _ in range(r.uvarint()):
+            param = dec.value()
+            if not isinstance(param, VReg):
+                raise CodecError(f"parameter must be a VReg, "
+                                 f"got {param!r}")
+            params.append(param)
+        blocks = []
+        for _ in range(r.uvarint()):
+            label = dec.string()
+            instrs = [dec.instr() for _ in range(r.uvarint())]
+            blocks.append(BasicBlock(label, instrs))
+        if r.pos != r.end:
+            raise CodecError(f"{r.end - r.pos} trailing bytes after "
+                             f"the function body")
+        return Function(name, params, blocks, next_vreg_id, next_slot,
+                        bool(flags & 1))
+    except CodecError:
+        raise
+    except Exception as err:  # defensive: never let garbage escape
+        raise CodecError(f"undecodable blob: {type(err).__name__}: "
+                         f"{err}") from err
+
+
+def function_digest(func: Function) -> str:
+    """``sha256`` hex digest of :func:`encode_function` — the content
+    key two value-identical functions share."""
+    return hashlib.sha256(encode_function(func)).hexdigest()
+
+
+def module_digest(module) -> str:
+    """Content digest of a whole module (name + each function blob,
+    length-framed so concatenations cannot collide)."""
+    h = hashlib.sha256()
+    raw_name = module.name.encode("utf-8")
+    h.update(len(raw_name).to_bytes(4, "big"))
+    h.update(raw_name)
+    for func in module.functions:
+        blob = encode_function(func)
+        h.update(len(blob).to_bytes(4, "big"))
+        h.update(blob)
+    return h.hexdigest()

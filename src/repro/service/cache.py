@@ -27,9 +27,11 @@ take the service down.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
+import tempfile
 from collections import OrderedDict
 from dataclasses import replace
 from pathlib import Path
@@ -166,12 +168,25 @@ class DiskCacheBackend(CacheBackend):
             return None
 
     def put(self, key: str, entry: AllocationResponse) -> None:
+        # Unique per-writer temp name: cluster shards share a cache
+        # dir, and two processes storing the same entry through a fixed
+        # ``<key>.tmp`` could interleave write/replace and publish a
+        # torn file.  mkstemp keeps the temp on the same filesystem so
+        # os.replace stays atomic.
         try:
             path = self.path_for(key)
             path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_suffix(".tmp")
-            tmp.write_text(entry.to_json() + "\n")
-            os.replace(tmp, path)
+            fd, tmp = tempfile.mkstemp(dir=path.parent,
+                                       prefix=f".{key[:8]}-",
+                                       suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(entry.to_json() + "\n")
+                os.replace(tmp, path)
+            except BaseException:
+                with contextlib.suppress(OSError):
+                    os.unlink(tmp)
+                raise
             self.puts += 1
         except OSError:
             self.errors += 1

@@ -34,6 +34,8 @@ from time import perf_counter
 from repro.core import PreferenceConfig, PreferenceDirectedAllocator
 from repro.errors import ReproError, ServiceError
 from repro.exec import FaultPlan, JobDeadlineError, WorkerPool
+from repro.exec.wire import machine_content_digest
+from repro.ir.codec import module_digest
 from repro.ir.function import Module
 from repro.ir.parser import parse_module
 from repro.ir.printer import print_function, print_module
@@ -291,8 +293,16 @@ class Scheduler:
         return len(jobs)
 
     def _prepare_cached(self, normalized_ir: str, request, module, machine):
-        """Memoized ``prepare_module`` keyed by module+machine content."""
-        key = request_fingerprint(normalized_ir, machine, "", verify=False)
+        """Memoized ``prepare_module`` keyed by module+machine content.
+
+        The key is the codec content digest of the parsed module plus
+        the machine's register model — cheaper than the historical
+        second ``request_fingerprint`` pass (which re-hashed the full
+        normalized text) and exactly as collision-safe, since the codec
+        digest *is* content identity.  The wire-visible cache
+        fingerprint in :meth:`_process` is untouched.
+        """
+        key = (module_digest(module), machine_content_digest(machine))
         hit = self._prepared.get(key)
         if hit is None:
             hit = (prepare_module(module, machine), machine)

@@ -1,0 +1,262 @@
+"""The digest-deduped dispatch wire (:mod:`repro.exec.wire`).
+
+Covers the control-tuple format end to end — pack, shared-memory
+shipment, worker-side resolve with the decode/object caches — plus the
+``REPRO_WIRE`` knob surface, the inline fallback when shared memory is
+unavailable, and byte-identity of pool results across all three wire
+modes.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.config import runtime_knobs
+from repro.errors import CodecError
+from repro.exec import wire
+from repro.exec.alloctask import round0_cache_max, run_alloc_job
+from repro.exec.pool import WorkerPool
+from repro.ir.codec import function_digest
+from repro.ir.printer import print_function
+from repro.pipeline import prepare_module
+from repro.regalloc import AllocationOptions, ChaitinAllocator
+from repro.target.presets import make_machine
+from repro.workloads.generator import generate_module
+from repro.workloads.profiles import BenchmarkProfile
+
+FAST = dict(heartbeat_s=0.05, backoff_s=0.01, start_timeout_s=30.0)
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    wire.clear_decode_cache()
+    wire.reset_wire_stats()
+    yield
+    wire.clear_decode_cache()
+    wire.reset_wire_stats()
+
+
+def small_payloads(n=4, regs=8):
+    profile = BenchmarkProfile(name="wire", n_functions=n, stmts=4,
+                               int_pool=4, call_prob=0.2,
+                               branch_prob=0.2, loop_prob=0.1,
+                               max_loop_depth=1)
+    module = generate_module(profile, seed=11)
+    machine = make_machine(regs)
+    prepared = prepare_module(module, machine)
+    options = AllocationOptions(verify=False)
+    allocator = ChaitinAllocator()
+    return [(func, machine, allocator, options)
+            for func in prepared.functions]
+
+
+class TestKnob:
+    def test_parse_wire(self):
+        for raw in ("0", "off", "FALSE", "no", "pickle", " Pickle "):
+            assert wire.parse_wire(raw) == "pickle"
+        assert wire.parse_wire("validate") == "validate"
+        for raw in ("codec", "on", "1", "anything"):
+            assert wire.parse_wire(raw) == "codec"
+
+    def test_default_is_codec(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WIRE", raising=False)
+        assert wire.wire_mode() == "codec"
+
+    def test_env_selects_mode(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WIRE", "validate")
+        assert wire.wire_mode() == "validate"
+
+    def test_runtime_knobs_surface(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WIRE", "pickle")
+        monkeypatch.setenv("REPRO_ROUND0_CACHE", "17")
+        knobs = runtime_knobs()
+        assert knobs["wire"] == "pickle"
+        assert knobs["round0_cache"] == 17
+
+    def test_round0_cache_knob(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ROUND0_CACHE", raising=False)
+        assert round0_cache_max() == 64
+        monkeypatch.setenv("REPRO_ROUND0_CACHE", "5")
+        assert round0_cache_max() == 5
+        monkeypatch.setenv("REPRO_ROUND0_CACHE", "0")
+        assert round0_cache_max() == 1
+        monkeypatch.setenv("REPRO_ROUND0_CACHE", "nonsense")
+        assert round0_cache_max() == 64
+
+
+class TestPackBatch:
+    def test_pickle_mode_is_identity(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WIRE", "pickle")
+        payloads = small_payloads()
+        jobs, shipment = wire.pack_batch(payloads)
+        assert jobs == payloads
+        assert shipment is None
+
+    def test_ineligible_shapes_pass_through(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WIRE", "codec")
+        for payloads in ([], [1, 2, 3], [("not", "a", "job")]):
+            jobs, shipment = wire.pack_batch(payloads)
+            assert jobs == payloads
+            assert shipment is None
+
+    def test_pack_resolve_roundtrip(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WIRE", "codec")
+        payloads = small_payloads()
+        jobs, shipment = wire.pack_batch(payloads)
+        try:
+            assert all(wire.is_wire_job(j) for j in jobs)
+            for (func, machine, allocator, options), job in \
+                    zip(payloads, jobs):
+                got = wire.resolve_job(job)
+                rfunc, rmachine, rallocator, roptions, fdig, mdig = got
+                assert print_function(rfunc) == print_function(func)
+                assert rfunc is not func  # private clone per job
+                assert fdig == function_digest(func)
+                assert mdig == wire.machine_content_digest(machine)
+                assert roptions.verify == options.verify
+                assert type(rallocator) is type(allocator)
+        finally:
+            shipment.cleanup()
+
+    def test_read_only_objects_shared_across_jobs(self, monkeypatch):
+        """Machine/allocator/options resolve to one cached object per
+        digest — the serial path's sharing, not a copy per job."""
+        monkeypatch.setenv("REPRO_WIRE", "codec")
+        payloads = small_payloads()
+        jobs, shipment = wire.pack_batch(payloads)
+        try:
+            first = wire.resolve_job(jobs[0])
+            second = wire.resolve_job(jobs[1])
+            assert first[1] is second[1]  # machine
+            assert first[2] is second[2]  # allocator
+            assert first[3] is second[3]  # options
+        finally:
+            shipment.cleanup()
+
+    def test_decode_cache_hits_across_batches(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WIRE", "codec")
+        payloads = small_payloads()
+        for expected_hits in (0, len(payloads)):
+            jobs, shipment = wire.pack_batch(payloads)
+            try:
+                for job in jobs:
+                    wire.resolve_job(job)
+            finally:
+                shipment.cleanup()
+            info = wire.decode_cache_info()
+            assert info["hits"] == expected_hits
+        stats = wire.wire_stats()
+        assert stats["batches_packed"] == 2
+        assert stats["encodes"] == len(payloads)
+        assert stats["encode_memo_hits"] == len(payloads)
+        assert stats["shm_segments"] + stats["inline_batches"] == 2
+
+    def test_segment_unlinked_after_cleanup(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WIRE", "codec")
+        jobs, shipment = wire.pack_batch(small_payloads())
+        if shipment.shm is None:
+            pytest.skip("shared memory unavailable in this sandbox")
+        name = shipment.shm.name
+        shipment.cleanup()
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_inline_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WIRE", "codec")
+
+        def refuse(*args, **kwargs):
+            raise OSError("no shm for you")
+
+        import multiprocessing.shared_memory as shm_mod
+
+        monkeypatch.setattr(shm_mod, "SharedMemory", refuse)
+        payloads = small_payloads()
+        jobs, shipment = wire.pack_batch(payloads)
+        assert shipment.shm is None
+        assert wire.wire_stats()["inline_batches"] == 1
+        func, *_ = wire.resolve_job(jobs[0])
+        assert print_function(func) == print_function(payloads[0][0])
+        shipment.cleanup()  # no-op, must not raise
+
+
+class TestValidateAndErrors:
+    def test_validate_mode_passes_on_honest_blob(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WIRE", "validate")
+        payloads = small_payloads()
+        jobs, shipment = wire.pack_batch(payloads)
+        try:
+            for job in jobs:
+                wire.resolve_job(job)
+        finally:
+            shipment.cleanup()
+
+    def test_validate_mode_catches_divergence(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WIRE", "validate")
+        payloads = small_payloads()
+        jobs, shipment = wire.pack_batch(payloads)
+        try:
+            # Lie about what was shipped: the oracle says function 1,
+            # the blob is function 0.
+            tampered = list(jobs[0])
+            tampered[7] = pickle.dumps(payloads[1][0],
+                                       pickle.HIGHEST_PROTOCOL)
+            with pytest.raises(CodecError):
+                wire.resolve_job(tuple(tampered))
+        finally:
+            shipment.cleanup()
+
+    def test_missing_segment_is_codec_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WIRE", "codec")
+        jobs, shipment = wire.pack_batch(small_payloads())
+        shipment.cleanup()  # unlink before resolve
+        wire.clear_decode_cache()
+        with pytest.raises(CodecError):
+            wire.resolve_job(jobs[0])
+
+    def test_unknown_digest_is_codec_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WIRE", "codec")
+        jobs, shipment = wire.pack_batch(small_payloads())
+        try:
+            bad = list(jobs[0])
+            bad[2] = "0" * 64
+            with pytest.raises(CodecError):
+                wire.resolve_job(tuple(bad))
+        finally:
+            shipment.cleanup()
+
+
+class TestPoolIdentity:
+    def run_pool(self, mode, payloads, monkeypatch):
+        monkeypatch.setenv("REPRO_WIRE", mode)
+        pool = WorkerPool(workers=2, **FAST)
+        try:
+            results = pool.run_batch(payloads)
+            assert all(r.ok for r in results), \
+                [r.error for r in results if not r.ok]
+            return [print_function(r.value[0].func) for r in results]
+        finally:
+            pool.shutdown()
+
+    def test_results_identical_across_modes(self, monkeypatch):
+        payloads = small_payloads()
+        texts = {mode: self.run_pool(mode, payloads, monkeypatch)
+                 for mode in wire.WIRE_MODES}
+        assert texts["codec"] == texts["pickle"]
+        assert texts["validate"] == texts["pickle"]
+
+    def test_run_alloc_job_accepts_both_shapes(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WIRE", "codec")
+        payloads = small_payloads(n=2)
+        jobs, shipment = wire.pack_batch(payloads)
+        try:
+            direct = run_alloc_job(payloads[0])
+            via_wire = run_alloc_job(jobs[0])
+            assert print_function(direct[0].func) == \
+                print_function(via_wire[0].func)
+            assert direct[1].total == via_wire[1].total
+        finally:
+            shipment.cleanup()
